@@ -1,0 +1,186 @@
+// Command adbench regenerates the paper's tables and figures against the
+// from-scratch LSM engine and all six cache strategies.
+//
+// Usage:
+//
+//	adbench -exp fig7                 # one experiment at default scale
+//	adbench -exp all -scale quick     # everything, small
+//	adbench -exp fig8 -keys 100000 -ops 200000
+//
+// Experiments: fig1 fig6 fig7 fig8 (includes Table 4) fig9 fig10 fig11a
+// fig11b table2 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adcache/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|fig11a|fig11b|table2|ablations|scaling|all")
+		scale  = flag.String("scale", "default", "scale preset: quick|default")
+		keys   = flag.Int("keys", 0, "override key-space size")
+		values = flag.Int("values", 0, "override value size in bytes")
+		ops    = flag.Int("ops", 0, "override measured ops (and warm-up ops)")
+		seed   = flag.Int64("seed", 0, "override workload seed")
+		csvDir = flag.String("csv", "", "also write raw results as CSV into this directory")
+	)
+	flag.Parse()
+
+	sc := harness.DefaultScale()
+	if *scale == "quick" {
+		sc = harness.QuickScale()
+	}
+	if *keys > 0 {
+		sc.NumKeys = *keys
+	}
+	if *values > 0 {
+		sc.ValueSize = *values
+	}
+	if *ops > 0 {
+		sc.MeasureOps = *ops
+		sc.WarmOps = *ops
+		sc.PhaseOps = *ops
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	run := func(name string) error {
+		start := time.Now()
+		fmt.Printf("== %s (keys=%d values=%dB ops=%d) ==\n", name, sc.NumKeys, sc.ValueSize, sc.MeasureOps)
+		var err error
+		switch name {
+		case "fig1":
+			var cells []harness.Cell
+			if cells, err = harness.RunFig1(sc); err == nil {
+				fmt.Print(harness.FormatFig1(cells))
+			}
+		case "fig6":
+			var rows []harness.Fig6Row
+			if rows, err = harness.RunFig6(sc); err == nil {
+				fmt.Print(harness.FormatFig6(rows))
+			}
+		case "fig7":
+			var cells []harness.Cell
+			progress := func(c harness.Cell) {
+				fmt.Fprintf(os.Stderr, "  %-12s cache=%4.0f%% %-20s hit=%.3f reads/op=%.2f\n",
+					c.Workload, c.CacheFrac*100, c.Strategy, c.Result.HitRate, c.Result.ReadsPerOp())
+			}
+			if cells, err = harness.RunFig7(sc, progress); err == nil {
+				fmt.Print(harness.FormatFig7(cells))
+				err = writeCSV(*csvDir, "fig7.csv", func(w *os.File) error {
+					return harness.WriteCellsCSV(w, cells)
+				})
+			}
+		case "fig8":
+			var prs []harness.PhaseResult
+			progress := func(pr harness.PhaseResult) {
+				fmt.Fprintf(os.Stderr, "  phase %s %-20s qps=%.0f hit=%.3f\n",
+					pr.Phase, pr.Strategy, pr.Result.QPS, pr.Result.HitRate)
+			}
+			if prs, err = harness.RunFig8(sc, progress); err == nil {
+				fmt.Print(harness.FormatFig8(prs))
+				err = writeCSV(*csvDir, "fig8.csv", func(w *os.File) error {
+					return harness.WritePhasesCSV(w, prs)
+				})
+			}
+		case "fig9":
+			var cells []harness.Cell
+			progress := func(c harness.Cell) {
+				fmt.Fprintf(os.Stderr, "  skew=%.1f %-20s hit=%.3f\n", c.Skew, c.Strategy, c.Result.HitRate)
+			}
+			if cells, err = harness.RunFig9(sc, progress); err == nil {
+				fmt.Print(harness.FormatFig9(cells))
+				err = writeCSV(*csvDir, "fig9.csv", func(w *os.File) error {
+					return harness.WriteCellsCSV(w, cells)
+				})
+			}
+		case "fig10":
+			var wp, ap []harness.Fig10Series
+			var pp harness.Fig10Series
+			if wp, ap, pp, err = harness.RunFig10(sc); err == nil {
+				fmt.Print(harness.FormatFig10(wp, ap, pp))
+				err = writeCSV(*csvDir, "fig10.csv", func(w *os.File) error {
+					all := append(append([]harness.Fig10Series{}, wp...), ap...)
+					all = append(all, pp)
+					return harness.WriteTraceCSV(w, all)
+				})
+			}
+		case "fig11a":
+			var pts []harness.Fig11aPoint
+			progress := func(p harness.Fig11aPoint) {
+				fmt.Fprintf(os.Stderr, "  clients=%d per-client=%.0f\n", p.Clients, p.PerClientQPS)
+			}
+			if pts, err = harness.RunFig11a(sc, progress); err == nil {
+				fmt.Print(harness.FormatFig11a(pts))
+			}
+		case "fig11b":
+			var series []harness.AblationSeries
+			if series, err = harness.RunFig11b(sc, nil); err == nil {
+				fmt.Print(harness.FormatFig11b(series))
+			}
+		case "table2":
+			fmt.Print(harness.FormatTable2(harness.RunTable2()))
+		case "scaling":
+			var rows []harness.ScalingRow
+			progress := func(r harness.ScalingRow) {
+				fmt.Fprintf(os.Stderr, "  keys=%d %-12s %.3f→%.3f\n", r.NumKeys, r.Strategy, r.HitBefore, r.HitAfter)
+			}
+			if rows, err = harness.RunScaling(nil, progress); err == nil {
+				fmt.Print(harness.FormatScaling(rows))
+			}
+		case "ablations":
+			var rows []harness.AblationRow
+			progress := func(r harness.AblationRow) {
+				fmt.Fprintf(os.Stderr, "  %s/%s hit=%.3f\n", r.Study, r.Variant, r.Result.HitRate)
+			}
+			if rows, err = harness.RunAblations(sc, progress); err == nil {
+				fmt.Print(harness.FormatAblations(rows))
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table2", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b", "ablations"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCSV writes one CSV artifact when -csv is set.
+func writeCSV(dir, name string, write func(*os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(dir + "/" + name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}

@@ -1,0 +1,78 @@
+// Command adcache-pretrain trains the actor-critic model on the synthetic
+// representative workloads of §3.6 and saves the weights to disk. The saved
+// model is loaded at runtime via core.Config.ModelFS/ModelPath (or the
+// harness's process-level cache), avoiding per-deployment warm-up.
+//
+// Usage:
+//
+//	adcache-pretrain -out models/adcache          # writes .actor/.critic
+//	adcache-pretrain -out m -epochs 30 -maxscan 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"adcache/internal/core"
+	"adcache/internal/rl"
+	"adcache/internal/trace"
+	"adcache/internal/vfs"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "models/adcache", "output path prefix (two files: .actor, .critic)")
+		epochs    = flag.Int("epochs", 15, "supervised pretraining epochs")
+		maxScan   = flag.Int("maxscan", 128, "scan-length normalisation (must match runtime MaxScanLen)")
+		seed      = flag.Int64("seed", 7, "data/exploration seed")
+		traceFile = flag.String("trace", "", "pretrain from a recorded workload trace instead of synthetic mixes")
+		window    = flag.Int("window", 1000, "trace window size in operations")
+	)
+	flag.Parse()
+
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "adcache-pretrain:", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := rl.DefaultConfig()
+	cfg.Seed = *seed
+	agent := rl.New(cfg)
+
+	var states [][]float32
+	var targets []rl.Action
+	if *traceFile != "" {
+		f, err := vfs.NewOS().Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adcache-pretrain:", err)
+			os.Exit(1)
+		}
+		ops, err := trace.ReadAll(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adcache-pretrain:", err)
+			os.Exit(1)
+		}
+		windows := trace.Windows(ops, *window)
+		states, targets = core.PretrainDataFromWindows(windows, *maxScan, *seed)
+		fmt.Printf("trace: %d ops -> %d windows\n", len(ops), len(windows))
+	} else {
+		states, targets = core.SyntheticPretrainData(*maxScan, *seed)
+	}
+	if len(states) == 0 {
+		fmt.Fprintln(os.Stderr, "adcache-pretrain: no training data")
+		os.Exit(1)
+	}
+	loss := agent.PretrainSupervised(states, targets, *epochs, 1e-3)
+	if err := agent.Save(vfs.NewOS(), *out); err != nil {
+		fmt.Fprintln(os.Stderr, "adcache-pretrain:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pretrained on %d states for %d epochs (final loss %.6f)\n", len(states), *epochs, loss)
+	fmt.Printf("model: %d parameters, %.0f KB weights\n", agent.NumParams(), float64(agent.MemoryBytes())/1024)
+	fmt.Printf("saved %s.actor and %s.critic\n", *out, *out)
+}

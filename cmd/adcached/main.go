@@ -1,0 +1,64 @@
+// Command adcached serves a store over HTTP (see internal/server for the
+// endpoint reference).
+//
+// Usage:
+//
+//	adcached -dir /var/lib/adcache -addr :8080 -cache 268435456
+//	curl -X PUT -d 'value' localhost:8080/kv/mykey
+//	curl localhost:8080/kv/mykey
+//	curl 'localhost:8080/scan?start=my&n=10'
+//	curl localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"adcache"
+	"adcache/internal/lsm"
+	"adcache/internal/server"
+	"adcache/internal/vfs"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "adcached-db", "database directory")
+		addr     = flag.String("addr", ":8080", "listen address")
+		cache    = flag.Int64("cache", 64<<20, "cache budget in bytes")
+		strategy = flag.String("strategy", "adcache", "cache strategy: adcache|block|kv|range|lecar|cacheus|none")
+	)
+	flag.Parse()
+
+	strat := map[string]adcache.Strategy{
+		"adcache": adcache.StrategyAdCache,
+		"block":   adcache.StrategyBlock,
+		"kv":      adcache.StrategyKV,
+		"range":   adcache.StrategyRange,
+		"lecar":   adcache.StrategyRangeLeCaR,
+		"cacheus": adcache.StrategyRangeCacheus,
+		"none":    adcache.StrategyNone,
+	}[*strategy]
+
+	lsmOpts := lsm.DefaultOptions(*dir)
+	db, err := adcache.Open(adcache.Options{
+		Dir:        *dir,
+		FS:         vfs.NewOS(),
+		CacheBytes: *cache,
+		Strategy:   strat,
+		LSM:        &lsmOpts,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adcached:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	fmt.Printf("adcached: serving %s (%s strategy, %d MiB cache) on %s\n",
+		*dir, db.Strategy(), *cache>>20, *addr)
+	if err := http.ListenAndServe(*addr, server.Handler(db)); err != nil {
+		fmt.Fprintln(os.Stderr, "adcached:", err)
+		os.Exit(1)
+	}
+}

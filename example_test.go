@@ -1,0 +1,106 @@
+package adcache_test
+
+import (
+	"fmt"
+
+	"adcache"
+)
+
+// The zero-config path: an in-memory store managed by AdCache.
+func Example() {
+	db, err := adcache.Open(adcache.Options{CacheBytes: 4 << 20})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("alpha"), []byte("1"))
+	db.Put([]byte("beta"), []byte("2"))
+	db.Put([]byte("gamma"), []byte("3"))
+
+	v, ok, _ := db.Get([]byte("beta"))
+	fmt.Println(string(v), ok)
+
+	kvs, _ := db.Scan([]byte("alpha"), 2)
+	for _, kv := range kvs {
+		fmt.Printf("%s=%s\n", kv.Key, kv.Value)
+	}
+	// Output:
+	// 2 true
+	// alpha=1
+	// beta=2
+}
+
+// Running a baseline strategy on the same engine.
+func ExampleOpen_blockCacheBaseline() {
+	db, err := adcache.Open(adcache.Options{
+		CacheBytes: 1 << 20,
+		Strategy:   adcache.StrategyBlock,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	fmt.Println(db.Strategy())
+	// Output: BlockCache
+}
+
+// Atomic multi-key writes.
+func ExampleDB_apply() {
+	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	b := db.NewBatch()
+	b.Put([]byte("k1"), []byte("v1"))
+	b.Put([]byte("k2"), []byte("v2"))
+	b.Delete([]byte("k1"))
+	if err := db.Apply(b); err != nil {
+		panic(err)
+	}
+
+	_, ok1, _ := db.Get([]byte("k1"))
+	v2, ok2, _ := db.Get([]byte("k2"))
+	fmt.Println(ok1, string(v2), ok2)
+	// Output: false v2 true
+}
+
+// Snapshot iteration over the whole store.
+func ExampleDB_newIter() {
+	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	for _, k := range []string{"c", "a", "b"} {
+		db.Put([]byte(k), []byte("v"))
+	}
+	it, err := db.NewIter()
+	if err != nil {
+		panic(err)
+	}
+	defer it.Close()
+	for ok := it.First(); ok; ok = it.Next() {
+		fmt.Printf("%s ", it.Key())
+	}
+	// Output: a b c
+}
+
+// Bounded range scans.
+func ExampleDB_scanRange() {
+	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	kvs, _ := db.ScanRange([]byte("k3"), []byte("k6"), 0)
+	for _, kv := range kvs {
+		fmt.Printf("%s ", kv.Key)
+	}
+	// Output: k3 k4 k5
+}

@@ -1,0 +1,128 @@
+// Pretrain: the §3.6 workflow end to end. A production-like workload is
+// recorded as a trace, the actor is pretrained from the trace's windows,
+// and a fresh store deploys the model — its very first control decisions
+// already match the workload instead of starting from an uninformed policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adcache"
+	"adcache/internal/core"
+	"adcache/internal/lsm"
+	"adcache/internal/rl"
+	"adcache/internal/trace"
+	"adcache/internal/vfs"
+	"adcache/internal/workload"
+)
+
+const numKeys = 20_000
+
+func main() {
+	fs := vfs.NewMem()
+
+	// 1. Record a trace while serving a point-lookup-heavy production
+	// workload (the Stats Collector's "workload logs", §3.1).
+	traceFile, err := fs.Create("logs/workload.trace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tw := trace.NewWriter(traceFile)
+	runProduction(fs, tw)
+	fmt.Printf("recorded %d operations\n", tw.Len())
+	if err := tw.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Pretrain from the trace: window it, derive (state, target) pairs,
+	// fit the actor (cmd/adcache-pretrain does the same from the CLI).
+	f, err := fs.Open("logs/workload.trace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ops, err := trace.ReadAll(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	windows := trace.Windows(ops, 1000)
+	states, targets := core.PretrainDataFromWindows(windows, 128, 7)
+	agent := rl.New(rl.DefaultConfig())
+	loss := agent.PretrainSupervised(states, targets, 30, 1e-3)
+	fmt.Printf("pretrained on %d windows (loss %.5f)\n", len(windows), loss)
+	if err := agent.Save(fs, "models/adcache"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Deploy: a brand-new store loads the model. Its first decisions
+	// already favour the range cache for this point-heavy workload.
+	lsmOpts := lsm.DefaultOptions("db2")
+	db, err := adcache.Open(adcache.Options{
+		Dir:        "db2",
+		FS:         vfs.NewMem(),
+		CacheBytes: 2 << 20,
+		Strategy:   adcache.StrategyAdCache,
+		AdCache: core.Config{
+			ModelFS:    fs,
+			ModelPath:  "models/adcache",
+			SyncTuning: true,
+		},
+		LSM: &lsmOpts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	gen := workload.NewGenerator(workload.Config{NumKeys: numKeys, ValueSize: 100, Seed: 2})
+	for i := 0; i < numKeys; i++ {
+		db.Put(workload.Key(i), gen.InitialValue(i))
+	}
+	db.Flush()
+	// A couple of control windows under the live workload.
+	for i := 0; i < 3000; i++ {
+		op := gen.Next(workload.Mix{GetPct: 95, WritePct: 5})
+		switch op.Kind {
+		case workload.OpGet:
+			db.Get(op.Key)
+		case workload.OpPut:
+			db.Put(op.Key, op.Value)
+		}
+	}
+	p := db.AdCache().CurrentParams()
+	fmt.Printf("deployed store after %d windows: range ratio %.2f (point-heavy → range cache)\n",
+		db.AdCache().Windows(), p.RangeRatio)
+	if p.RangeRatio < 0.5 {
+		log.Fatal("pretrained policy did not favour the range cache")
+	}
+}
+
+// runProduction serves the workload that the trace captures.
+func runProduction(fs vfs.FS, tw *trace.Writer) {
+	lsmOpts := lsm.DefaultOptions("db1")
+	db, err := adcache.Open(adcache.Options{
+		Dir:        "db1",
+		FS:         fs,
+		CacheBytes: 2 << 20,
+		Strategy:   adcache.StrategyAdCache,
+		Trace:      tw,
+		LSM:        &lsmOpts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	gen := workload.NewGenerator(workload.Config{NumKeys: numKeys, ValueSize: 100, Seed: 1})
+	for i := 0; i < numKeys; i++ {
+		db.Put(workload.Key(i), gen.InitialValue(i))
+	}
+	db.Flush()
+	for i := 0; i < 10_000; i++ {
+		op := gen.Next(workload.Mix{GetPct: 95, WritePct: 5})
+		switch op.Kind {
+		case workload.OpGet:
+			db.Get(op.Key)
+		case workload.OpPut:
+			db.Put(op.Key, op.Value)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: open a store with the AdCache strategy, write, read, scan,
+// and inspect what the cache layer is doing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adcache"
+)
+
+func main() {
+	// An in-memory store with a 4 MiB cache budget managed by AdCache.
+	db, err := adcache.Open(adcache.Options{
+		CacheBytes: 4 << 20,
+		Strategy:   adcache.StrategyAdCache,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Writes go through the WAL and MemTable, flushing to SSTables as the
+	// MemTable fills.
+	for i := 0; i < 10_000; i++ {
+		key := fmt.Sprintf("user%06d", i)
+		value := fmt.Sprintf("profile-data-for-%06d", i)
+		if err := db.Put([]byte(key), []byte(value)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Point lookup.
+	v, ok, err := db.Get([]byte("user001234"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Get(user001234) -> %q (found=%v)\n", v, ok)
+
+	// Range scan: 5 consecutive keys starting at user005000.
+	kvs, err := db.Scan([]byte("user005000"), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Scan(user005000, 5):")
+	for _, kv := range kvs {
+		fmt.Printf("  %s = %s\n", kv.Key, kv.Value)
+	}
+
+	// Delete and verify.
+	if err := db.Delete([]byte("user001234")); err != nil {
+		log.Fatal(err)
+	}
+	if _, ok, _ := db.Get([]byte("user001234")); ok {
+		log.Fatal("key still visible after delete")
+	}
+	fmt.Println("user001234 deleted")
+
+	// Engine and cache introspection.
+	m := db.LSM().Metrics()
+	fmt.Printf("\nLSM tree: %d levels in use, %d sorted runs, %d entries on disk\n",
+		m.NonEmptyLevels, m.SortedRuns, m.TotalEntries)
+	fmt.Printf("SST block reads so far: %d\n", db.SSTReads())
+
+	p := db.AdCache().CurrentParams()
+	fmt.Printf("AdCache boundary: %.0f%% range cache / %.0f%% block cache\n",
+		p.RangeRatio*100, (1-p.RangeRatio)*100)
+	fmt.Printf("admission: point threshold %.4f, scan a=%d b=%.2f\n",
+		p.PointThreshold, p.ScanA, p.ScanB)
+}

@@ -1,0 +1,3 @@
+module adcache
+
+go 1.22

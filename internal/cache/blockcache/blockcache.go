@@ -1,0 +1,244 @@
+// Package blockcache implements the RocksDB-style block cache: a sharded,
+// byte-budgeted LRU over SSTable data blocks keyed by (file number, offset).
+//
+// Entries are bound to physical file identity, so compactions leave dead
+// entries behind — the invalidation weakness the paper's range cache
+// addresses. Capacity can be resized at runtime; AdCache moves the boundary
+// between block and range cache by resizing both.
+package blockcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards balances lock contention against shard-budget fragmentation.
+const DefaultShards = 16
+
+// Cache is a sharded LRU block cache. It is safe for concurrent use.
+type Cache struct {
+	shards []*shard
+	mask   uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	inserts   atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List // front = most recent
+	items    map[blockKey]*list.Element
+	owner    *Cache
+}
+
+type blockKey struct {
+	fileNum uint64
+	offset  uint64
+}
+
+type entry struct {
+	key  blockKey
+	data []byte
+}
+
+// New returns a cache with the given total byte capacity. The shard count
+// adapts to the budget (one shard per 64 KiB, capped at DefaultShards) so
+// that small caches keep shards large enough to admit 4 KiB blocks.
+func New(capacity int64) *Cache {
+	shards := int(capacity / (64 << 10))
+	if shards > DefaultShards {
+		shards = DefaultShards
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return NewShards(capacity, shards)
+}
+
+// NewShards returns a cache with an explicit power-of-two shard count.
+func NewShards(capacity int64, numShards int) *Cache {
+	if numShards < 1 {
+		numShards = 1
+	}
+	// Round up to a power of two for mask indexing.
+	n := 1
+	for n < numShards {
+		n *= 2
+	}
+	c := &Cache{shards: make([]*shard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			capacity: capacity / int64(n),
+			ll:       list.New(),
+			items:    make(map[blockKey]*list.Element),
+			owner:    c,
+		}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k blockKey) *shard {
+	h := k.fileNum*0x9e3779b97f4a7c15 ^ k.offset*0xc2b2ae3d27d4eb4f
+	h ^= h >> 29
+	return c.shards[h&c.mask]
+}
+
+// Get implements sstable.BlockCache.
+func (c *Cache) Get(fileNum, offset uint64) ([]byte, bool) {
+	k := blockKey{fileNum, offset}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[k]; ok {
+		s.ll.MoveToFront(e)
+		c.hits.Add(1)
+		return e.Value.(*entry).data, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Insert implements sstable.BlockCache. The scan flag is accepted for
+// interface compatibility; the plain block cache admits everything, like
+// RocksDB's default.
+func (c *Cache) Insert(fileNum, offset uint64, data []byte, scan bool) {
+	c.insert(fileNum, offset, data)
+}
+
+func (c *Cache) insert(fileNum, offset uint64, data []byte) {
+	k := blockKey{fileNum, offset}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity <= 0 {
+		return
+	}
+	if e, ok := s.items[k]; ok {
+		old := e.Value.(*entry)
+		s.used += int64(len(data)) - int64(len(old.data))
+		old.data = data
+		s.ll.MoveToFront(e)
+	} else {
+		if int64(len(data)) > s.capacity {
+			return // larger than the whole shard: never admit
+		}
+		s.items[k] = s.ll.PushFront(&entry{key: k, data: data})
+		s.used += int64(len(data))
+		c.inserts.Add(1)
+	}
+	s.evictLocked()
+}
+
+func (s *shard) evictLocked() {
+	for s.used > s.capacity {
+		back := s.ll.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.used -= int64(len(e.data))
+		s.owner.evictions.Add(1)
+	}
+}
+
+func (s *shard) evictLockedCount() { s.evictLocked() }
+
+// Resize changes the total capacity, evicting as needed. AdCache calls this
+// when the RL agent moves the cache boundary.
+func (c *Cache) Resize(capacity int64) {
+	per := capacity / int64(len(c.shards))
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.capacity = per
+		s.evictLocked()
+		s.mu.Unlock()
+	}
+}
+
+// EvictFile drops all blocks of fileNum (tooling; the engine does not call
+// this on compaction so that invalidation costs stay realistic).
+func (c *Cache) EvictFile(fileNum uint64) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for k, e := range s.items {
+			if k.fileNum == fileNum {
+				s.used -= int64(len(e.Value.(*entry).data))
+				s.ll.Remove(e)
+				delete(s.items, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Used reports the cached byte total.
+func (c *Cache) Used() int64 {
+	var used int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		used += s.used
+		s.mu.Unlock()
+	}
+	return used
+}
+
+// Capacity reports the configured byte budget.
+func (c *Cache) Capacity() int64 {
+	var capacity int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		capacity += s.capacity
+		s.mu.Unlock()
+	}
+	return capacity
+}
+
+// Len reports the number of cached blocks.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a snapshot of cache counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Inserts   int64
+	Evictions int64
+	Used      int64
+	Capacity  int64
+	Blocks    int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Inserts:   c.inserts.Load(),
+		Evictions: c.evictions.Load(),
+		Used:      c.Used(),
+		Capacity:  c.Capacity(),
+		Blocks:    c.Len(),
+	}
+}
+
+// ResetCounters zeroes hit/miss/insert/eviction counters (per-window stats).
+func (c *Cache) ResetCounters() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.inserts.Store(0)
+	c.evictions.Store(0)
+}

@@ -1,0 +1,130 @@
+// Package kvcache implements the paper's "KV Cache" baseline: a byte-
+// budgeted LRU of point-lookup results (key → value). Scans bypass it
+// entirely, which is exactly why the baseline flatlines on scan-heavy
+// workloads (Figure 7b/7d).
+package kvcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is an LRU key-value cache. It is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List
+	items    map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type entry struct {
+	key   string
+	value []byte
+}
+
+// entryOverhead matches the range cache's per-entry bookkeeping charge so
+// the two result caches compare under equal effective capacity (the paper
+// treats them as "identical" pure KV caches in point-only workloads).
+const entryOverhead = 64
+
+func (e *entry) size() int64 { return int64(len(e.key)+len(e.value)) + entryOverhead }
+
+// New returns a cache with the given byte capacity.
+func New(capacity int64) *Cache {
+	return &Cache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value for key.
+func (c *Cache) Get(key []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[string(key)]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return e.Value.(*entry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts or updates key.
+func (c *Cache) Put(key, value []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := string(key)
+	if e, ok := c.items[k]; ok {
+		old := e.Value.(*entry)
+		c.used += int64(len(value)) - int64(len(old.value))
+		old.value = value
+		c.ll.MoveToFront(e)
+	} else {
+		e := &entry{key: k, value: value}
+		if e.size() > c.capacity {
+			return
+		}
+		c.items[k] = c.ll.PushFront(e)
+		c.used += e.size()
+	}
+	c.evictLocked()
+}
+
+// Invalidate removes key (writes and deletes).
+func (c *Cache) Invalidate(key []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[string(key)]; ok {
+		ent := e.Value.(*entry)
+		c.used -= ent.size()
+		c.ll.Remove(e)
+		delete(c.items, ent.key)
+	}
+}
+
+func (c *Cache) evictLocked() {
+	for c.used > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		ent := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= ent.size()
+		c.evictions++
+	}
+}
+
+// Resize changes the byte capacity.
+func (c *Cache) Resize(capacity int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	c.evictLocked()
+}
+
+// Stats reports counters.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	Used, Capacity          int64
+	Entries                 int
+}
+
+// Stats returns a snapshot of counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Used: c.used, Capacity: c.capacity, Entries: len(c.items),
+	}
+}
+
+// Len reports the entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

@@ -1,0 +1,120 @@
+package kvcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetInvalidate(t *testing.T) {
+	c := New(1 << 20)
+	c.Put([]byte("k"), []byte("v"))
+	if v, ok := c.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	c.Invalidate([]byte("k"))
+	if _, ok := c.Get([]byte("k")); ok {
+		t.Fatal("hit after invalidate")
+	}
+	c.Invalidate([]byte("absent")) // must not panic
+}
+
+func TestUpdateAdjustsUsed(t *testing.T) {
+	c := New(1 << 20)
+	c.Put([]byte("k"), make([]byte, 100))
+	used1 := c.Stats().Used
+	c.Put([]byte("k"), make([]byte, 10))
+	used2 := c.Stats().Used
+	if used2 >= used1 {
+		t.Fatalf("used did not shrink: %d -> %d", used1, used2)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3 * (int64(2+10) + entryOverhead))
+	for i := 0; i < 5; i++ {
+		c.Put([]byte(fmt.Sprintf("k%d", i)), make([]byte, 10))
+	}
+	if _, ok := c.Get([]byte("k0")); ok {
+		t.Fatal("oldest entry survived")
+	}
+	if _, ok := c.Get([]byte("k4")); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("evictions not counted")
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	c := New(2 * (int64(2+4) + entryOverhead))
+	c.Put([]byte("k0"), make([]byte, 4))
+	c.Put([]byte("k1"), make([]byte, 4))
+	c.Get([]byte("k0"))
+	c.Put([]byte("k2"), make([]byte, 4))
+	if _, ok := c.Get([]byte("k0")); !ok {
+		t.Fatal("refreshed entry evicted")
+	}
+	if _, ok := c.Get([]byte("k1")); ok {
+		t.Fatal("LRU victim survived")
+	}
+}
+
+func TestOversizedRejected(t *testing.T) {
+	c := New(50)
+	c.Put([]byte("k"), make([]byte, 100))
+	if c.Len() != 0 {
+		t.Fatal("oversized entry admitted")
+	}
+}
+
+func TestResize(t *testing.T) {
+	c := New(1 << 20)
+	for i := 0; i < 100; i++ {
+		c.Put([]byte(fmt.Sprintf("key%03d", i)), make([]byte, 50))
+	}
+	c.Resize(500)
+	if c.Stats().Used > 500 {
+		t.Fatalf("used %d after shrink", c.Stats().Used)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(1 << 20)
+	c.Put([]byte("k"), []byte("v"))
+	c.Get([]byte("k"))
+	c.Get([]byte("nope"))
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(64 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := []byte(fmt.Sprintf("key%03d", (g*31+i)%200))
+				switch i % 3 {
+				case 0:
+					c.Put(k, make([]byte, 20))
+				case 1:
+					c.Get(k)
+				case 2:
+					c.Invalidate(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Stats().Used > 64<<10 {
+		t.Fatal("capacity exceeded")
+	}
+}

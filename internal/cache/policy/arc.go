@@ -1,0 +1,174 @@
+package policy
+
+import "container/list"
+
+// ARC implements the Adaptive Replacement Cache of Megiddo & Modha
+// (FAST'03): two live lists — T1 (seen once, recency) and T2 (seen at least
+// twice, frequency) — and two ghost lists (B1, B2) whose hits steer the
+// adaptive target p for T1's share. AC-Key (ATC'20), one of the paper's
+// related systems, drives its hierarchical caches with ARC; it is provided
+// here as an additional pluggable policy ("arc").
+type ARC struct {
+	capacity int
+	p        int // target size of T1
+
+	t1, t2 *list.List // front = MRU
+	b1, b2 *list.List
+	where  map[string]*arcEntry
+}
+
+type arcList int
+
+const (
+	inT1 arcList = iota
+	inT2
+	inB1
+	inB2
+)
+
+type arcEntry struct {
+	key  string
+	list arcList
+	elem *list.Element
+}
+
+// NewARC returns an ARC policy sized for capacity entries. ARC needs the
+// entry capacity up front (its lists balance against it); the owning cache
+// passes its capacity hint.
+func NewARC(capacity int) *ARC {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ARC{
+		capacity: capacity,
+		t1:       list.New(), t2: list.New(),
+		b1: list.New(), b2: list.New(),
+		where: make(map[string]*arcEntry),
+	}
+}
+
+func (p *ARC) listOf(l arcList) *list.List {
+	switch l {
+	case inT1:
+		return p.t1
+	case inT2:
+		return p.t2
+	case inB1:
+		return p.b1
+	default:
+		return p.b2
+	}
+}
+
+func (p *ARC) moveTo(e *arcEntry, dst arcList) {
+	p.listOf(e.list).Remove(e.elem)
+	e.list = dst
+	e.elem = p.listOf(dst).PushFront(e)
+}
+
+func (p *ARC) dropFrom(e *arcEntry) {
+	p.listOf(e.list).Remove(e.elem)
+	delete(p.where, e.key)
+}
+
+// OnInsert implements Policy.
+func (p *ARC) OnInsert(key string) {
+	if e, ok := p.where[key]; ok {
+		switch e.list {
+		case inT1, inT2:
+			p.OnAccess(key)
+		case inB1:
+			// Ghost hit on the recency side: grow T1's target.
+			p.p = minInt(p.p+maxInt(1, p.b2.Len()/maxInt(1, p.b1.Len())), p.capacity)
+			p.moveTo(e, inT2)
+		case inB2:
+			// Ghost hit on the frequency side: shrink T1's target.
+			p.p = maxInt(p.p-maxInt(1, p.b1.Len()/maxInt(1, p.b2.Len())), 0)
+			p.moveTo(e, inT2)
+		}
+		return
+	}
+	e := &arcEntry{key: key, list: inT1}
+	e.elem = p.t1.PushFront(e)
+	p.where[key] = e
+	p.truncateGhosts()
+}
+
+// OnAccess implements Policy: a second touch promotes T1 → T2.
+func (p *ARC) OnAccess(key string) {
+	e, ok := p.where[key]
+	if !ok {
+		return
+	}
+	switch e.list {
+	case inT1, inT2:
+		p.moveTo(e, inT2)
+	}
+}
+
+// OnMiss implements Policy. Ghost-hit adaptation happens on reinsertion
+// (OnInsert), where ARC's original formulation puts it.
+func (p *ARC) OnMiss(string) {}
+
+// OnRemove implements Policy.
+func (p *ARC) OnRemove(key string) {
+	if e, ok := p.where[key]; ok {
+		p.dropFrom(e)
+	}
+}
+
+// Evict implements Policy: replace per ARC — evict T1's LRU into B1 when T1
+// exceeds its target, else T2's LRU into B2.
+func (p *ARC) Evict() (string, bool) {
+	var victim *arcEntry
+	if p.t1.Len() > 0 && (p.t1.Len() > p.p || p.t2.Len() == 0) {
+		victim = p.t1.Back().Value.(*arcEntry)
+		p.moveTo(victim, inB1)
+	} else if p.t2.Len() > 0 {
+		victim = p.t2.Back().Value.(*arcEntry)
+		p.moveTo(victim, inB2)
+	} else {
+		return "", false
+	}
+	p.truncateGhosts()
+	return victim.key, true
+}
+
+// truncateGhosts bounds B1+B2 to the cache capacity.
+func (p *ARC) truncateGhosts() {
+	for p.b1.Len()+p.b2.Len() > p.capacity {
+		var back *list.Element
+		if p.b1.Len() > p.b2.Len() {
+			back = p.b1.Back()
+		} else {
+			back = p.b2.Back()
+		}
+		if back == nil {
+			return
+		}
+		p.dropFrom(back.Value.(*arcEntry))
+	}
+}
+
+// Len implements Policy: only live entries count.
+func (p *ARC) Len() int { return p.t1.Len() + p.t2.Len() }
+
+// Name implements Policy.
+func (p *ARC) Name() string { return "arc" }
+
+// Target reports the adaptive T1 target (tests).
+func (p *ARC) Target() int { return p.p }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

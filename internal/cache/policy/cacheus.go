@@ -1,0 +1,331 @@
+package policy
+
+import (
+	"container/list"
+	"math"
+	"math/rand"
+)
+
+// Cacheus implements the policy of Rodriguez et al. (FAST'21): the LeCaR
+// weighting framework with two stronger experts — a scan-resistant LRU
+// (SR-LRU) and a churn-resistant LFU (CR-LFU) — and an adaptive learning
+// rate driven by recent performance instead of LeCaR's fixed rate.
+//
+// The experts follow the published designs; partition adaptation inside
+// SR-LRU uses ARC-style ±1 target adjustment on history hits, a documented
+// simplification of the original's demotion bookkeeping.
+type Cacheus struct {
+	srlru *srLRU
+	crlfu *crLFU
+
+	wSR, wCR float64
+	lr       float64
+	clock    int64
+	rng      *rand.Rand
+
+	// Adaptive learning rate state: hit counts over fixed windows.
+	windowSize   int64
+	windowHits   int64
+	windowOps    int64
+	prevHitRate  float64
+	prevLRChange float64
+}
+
+// NewCacheus returns a Cacheus policy sized for capacityHint entries.
+func NewCacheus(capacityHint int) *Cacheus {
+	if capacityHint < 1 {
+		capacityHint = 1
+	}
+	return &Cacheus{
+		srlru:      newSRLRU(capacityHint),
+		crlfu:      newCRLFU(capacityHint),
+		wSR:        0.5,
+		wCR:        0.5,
+		lr:         math.Sqrt(2 * math.Ln2 / float64(capacityHint)),
+		rng:        rand.New(rand.NewSource(1)),
+		windowSize: int64(capacityHint),
+	}
+}
+
+// OnInsert implements Policy.
+func (p *Cacheus) OnInsert(key string) {
+	p.clock++
+	p.srlru.insert(key)
+	p.crlfu.OnInsert(key)
+}
+
+// OnAccess implements Policy.
+func (p *Cacheus) OnAccess(key string) {
+	p.clock++
+	p.windowHits++
+	p.tickWindow()
+	p.srlru.access(key)
+	p.crlfu.OnAccess(key)
+}
+
+// OnMiss implements Policy.
+func (p *Cacheus) OnMiss(key string) {
+	p.clock++
+	p.tickWindow()
+	// Regret updates against each expert's ghost history.
+	if p.srlru.hist.contains(key) {
+		p.wCR *= math.Exp(p.lr)
+		p.normalize()
+	}
+	if p.crlfu.hist.contains(key) {
+		p.wSR *= math.Exp(p.lr)
+		p.normalize()
+	}
+	p.srlru.onMiss(key)
+}
+
+// tickWindow adapts the learning rate once per window: if the hit rate
+// improved since the last window, keep the direction of the last change;
+// otherwise reverse and shrink, per the Cacheus gradient heuristic.
+func (p *Cacheus) tickWindow() {
+	p.windowOps++
+	if p.windowOps < p.windowSize {
+		return
+	}
+	hitRate := float64(p.windowHits) / float64(p.windowOps)
+	delta := hitRate - p.prevHitRate
+	change := p.prevLRChange
+	if change == 0 {
+		change = p.lr * 0.1
+	}
+	if delta < 0 {
+		change = -change * 0.5
+	}
+	p.lr = clamp(p.lr+change, 0.001, 1)
+	p.prevLRChange = change
+	p.prevHitRate = hitRate
+	p.windowHits, p.windowOps = 0, 0
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (p *Cacheus) normalize() {
+	sum := p.wSR + p.wCR
+	p.wSR /= sum
+	p.wCR /= sum
+}
+
+// OnRemove implements Policy.
+func (p *Cacheus) OnRemove(key string) {
+	p.srlru.remove(key)
+	p.crlfu.OnRemove(key)
+}
+
+// Evict implements Policy.
+func (p *Cacheus) Evict() (string, bool) {
+	if p.Len() == 0 {
+		return "", false
+	}
+	var victim string
+	var ok bool
+	if p.rng.Float64() < p.wSR {
+		victim, ok = p.srlru.evict()
+		if ok {
+			p.crlfu.OnRemove(victim)
+		}
+	} else {
+		victim, ok = p.crlfu.evictToHistory()
+		if ok {
+			p.srlru.remove(victim)
+		}
+	}
+	return victim, ok
+}
+
+// Len implements Policy.
+func (p *Cacheus) Len() int { return p.srlru.len() }
+
+// Name implements Policy.
+func (p *Cacheus) Name() string { return "cacheus" }
+
+// Weights reports (wSR-LRU, wCR-LFU).
+func (p *Cacheus) Weights() (float64, float64) { return p.wSR, p.wCR }
+
+// srLRU is the scan-resistant LRU expert. The cache is split into a scan
+// segment S (new, never-reused keys) and a reused segment R; evictions come
+// from S so one-shot scan traffic cannot flush reused data. A ghost history
+// recognises prematurely evicted keys, and an ARC-style target steers the
+// S/R split.
+type srLRU struct {
+	cap     int
+	s       *list.List // front = MRU
+	r       *list.List
+	where   map[string]*srEntry
+	hist    *ghostList
+	targetS int
+}
+
+type srEntry struct {
+	key  string
+	inS  bool
+	elem *list.Element
+}
+
+func newSRLRU(capacity int) *srLRU {
+	return &srLRU{
+		cap:     capacity,
+		s:       list.New(),
+		r:       list.New(),
+		where:   make(map[string]*srEntry),
+		hist:    newGhostList(capacity),
+		targetS: capacity / 2,
+	}
+}
+
+func (p *srLRU) insert(key string) {
+	if e, ok := p.where[key]; ok {
+		p.touch(e)
+		return
+	}
+	e := &srEntry{key: key}
+	if p.hist.contains(key) {
+		// Returning key: it has proven reuse, admit straight to R.
+		p.hist.remove(key)
+		e.inS = false
+		e.elem = p.r.PushFront(e)
+	} else {
+		e.inS = true
+		e.elem = p.s.PushFront(e)
+	}
+	p.where[key] = e
+	p.rebalance()
+}
+
+func (p *srLRU) access(key string) {
+	if e, ok := p.where[key]; ok {
+		p.touch(e)
+	}
+}
+
+// touch promotes a hit: S hits graduate to R, R hits refresh recency.
+func (p *srLRU) touch(e *srEntry) {
+	if e.inS {
+		p.s.Remove(e.elem)
+		e.inS = false
+		e.elem = p.r.PushFront(e)
+		p.rebalance()
+	} else {
+		p.r.MoveToFront(e.elem)
+	}
+}
+
+// onMiss adapts the split: a ghost hit means eviction from S was premature,
+// so give S more room.
+func (p *srLRU) onMiss(key string) {
+	if p.hist.contains(key) && p.targetS < p.cap-1 {
+		p.targetS++
+	}
+}
+
+// rebalance demotes R's LRU tail into S when R outgrows its share.
+func (p *srLRU) rebalance() {
+	for p.r.Len() > p.cap-p.targetS && p.r.Len() > 1 {
+		back := p.r.Back()
+		e := back.Value.(*srEntry)
+		p.r.Remove(back)
+		e.inS = true
+		e.elem = p.s.PushFront(e)
+	}
+}
+
+func (p *srLRU) remove(key string) {
+	e, ok := p.where[key]
+	if !ok {
+		return
+	}
+	if e.inS {
+		p.s.Remove(e.elem)
+	} else {
+		p.r.Remove(e.elem)
+	}
+	delete(p.where, key)
+}
+
+func (p *srLRU) evict() (string, bool) {
+	var back *list.Element
+	if p.s.Len() > 0 {
+		back = p.s.Back()
+		p.s.Remove(back)
+	} else if p.r.Len() > 0 {
+		back = p.r.Back()
+		p.r.Remove(back)
+		// Evicting from R means S starved; shrink the S target.
+		if p.targetS > 1 {
+			p.targetS--
+		}
+	} else {
+		return "", false
+	}
+	e := back.Value.(*srEntry)
+	delete(p.where, e.key)
+	p.hist.add(e.key, 0)
+	return e.key, true
+}
+
+func (p *srLRU) len() int { return len(p.where) }
+
+// crLFU is the churn-resistant LFU expert: LFU with LRU tie-breaking (the
+// base LFU provides it), plus frequency inheritance under churn — when
+// evictions keep removing frequency-1 keys, newly admitted keys inherit the
+// victims' effective frequency so the cache stops cycling the same cohort.
+type crLFU struct {
+	lfu        *LFU
+	hist       *ghostList
+	churnRun   int
+	churnLimit int
+	churnMode  bool
+}
+
+func newCRLFU(capacity int) *crLFU {
+	limit := capacity / 2
+	if limit < 4 {
+		limit = 4
+	}
+	return &crLFU{lfu: NewLFU(), hist: newGhostList(capacity), churnLimit: limit}
+}
+
+func (p *crLFU) OnInsert(key string) {
+	p.lfu.OnInsert(key)
+	if p.churnMode {
+		// Inherit the churn cohort's effective frequency so the newcomer is
+		// not the automatic next victim.
+		p.lfu.SetFreq(key, 2)
+	}
+	p.hist.remove(key)
+}
+
+func (p *crLFU) OnAccess(key string) { p.lfu.OnAccess(key) }
+
+func (p *crLFU) OnRemove(key string) { p.lfu.OnRemove(key) }
+
+func (p *crLFU) evictToHistory() (string, bool) {
+	victimFreq := int64(0)
+	if front := p.lfu.buckets.Front(); front != nil {
+		victimFreq = front.Value.(*freqBucket).freq
+	}
+	victim, ok := p.lfu.Evict()
+	if !ok {
+		return "", false
+	}
+	if victimFreq <= 1 {
+		p.churnRun++
+	} else {
+		p.churnRun = 0
+	}
+	p.churnMode = p.churnRun >= p.churnLimit
+	p.hist.add(victim, 0)
+	return victim, true
+}

@@ -1,0 +1,151 @@
+package policy
+
+import "container/list"
+
+// LFU is an O(1) least-frequently-used policy using frequency buckets, with
+// LRU tie-breaking inside a bucket (the oldest of the least-used keys goes
+// first).
+type LFU struct {
+	buckets *list.List // ascending frequency; each element is *freqBucket
+	items   map[string]*lfuEntry
+}
+
+type freqBucket struct {
+	freq    int64
+	entries *list.List // front = most recent; evict from back
+}
+
+type lfuEntry struct {
+	key    string
+	bucket *list.Element // into LFU.buckets
+	elem   *list.Element // into freqBucket.entries
+}
+
+// NewLFU returns an empty LFU policy.
+func NewLFU() *LFU {
+	return &LFU{buckets: list.New(), items: make(map[string]*lfuEntry)}
+}
+
+// OnInsert implements Policy.
+func (p *LFU) OnInsert(key string) {
+	if e, ok := p.items[key]; ok {
+		p.promote(e)
+		return
+	}
+	front := p.buckets.Front()
+	var b *freqBucket
+	if front == nil || front.Value.(*freqBucket).freq != 1 {
+		b = &freqBucket{freq: 1, entries: list.New()}
+		front = p.buckets.PushFront(b)
+	} else {
+		b = front.Value.(*freqBucket)
+	}
+	ent := &lfuEntry{key: key, bucket: front}
+	ent.elem = b.entries.PushFront(ent)
+	p.items[key] = ent
+}
+
+// OnAccess implements Policy.
+func (p *LFU) OnAccess(key string) {
+	if e, ok := p.items[key]; ok {
+		p.promote(e)
+	}
+}
+
+// promote moves e to the next-higher frequency bucket.
+func (p *LFU) promote(e *lfuEntry) {
+	cur := e.bucket
+	b := cur.Value.(*freqBucket)
+	next := cur.Next()
+	var nb *freqBucket
+	if next == nil || next.Value.(*freqBucket).freq != b.freq+1 {
+		nb = &freqBucket{freq: b.freq + 1, entries: list.New()}
+		next = p.buckets.InsertAfter(nb, cur)
+	} else {
+		nb = next.Value.(*freqBucket)
+	}
+	b.entries.Remove(e.elem)
+	if b.entries.Len() == 0 {
+		p.buckets.Remove(cur)
+	}
+	e.bucket = next
+	e.elem = nb.entries.PushFront(e)
+}
+
+// OnMiss implements Policy.
+func (p *LFU) OnMiss(string) {}
+
+// OnRemove implements Policy.
+func (p *LFU) OnRemove(key string) {
+	e, ok := p.items[key]
+	if !ok {
+		return
+	}
+	p.removeEntry(e)
+}
+
+func (p *LFU) removeEntry(e *lfuEntry) {
+	b := e.bucket.Value.(*freqBucket)
+	b.entries.Remove(e.elem)
+	if b.entries.Len() == 0 {
+		p.buckets.Remove(e.bucket)
+	}
+	delete(p.items, e.key)
+}
+
+// Evict implements Policy: removes the least-recently-used key of the
+// lowest-frequency bucket.
+func (p *LFU) Evict() (string, bool) {
+	front := p.buckets.Front()
+	if front == nil {
+		return "", false
+	}
+	b := front.Value.(*freqBucket)
+	victim := b.entries.Back().Value.(*lfuEntry)
+	p.removeEntry(victim)
+	return victim.key, true
+}
+
+// Len implements Policy.
+func (p *LFU) Len() int { return len(p.items) }
+
+// Name implements Policy.
+func (p *LFU) Name() string { return "lfu" }
+
+// Freq reports key's frequency counter (tests and Cacheus's CR-LFU).
+func (p *LFU) Freq(key string) int64 {
+	if e, ok := p.items[key]; ok {
+		return e.bucket.Value.(*freqBucket).freq
+	}
+	return 0
+}
+
+// SetFreq reinserts key at an explicit frequency (CR-LFU churn handling).
+func (p *LFU) SetFreq(key string, freq int64) {
+	if e, ok := p.items[key]; ok {
+		p.removeEntry(e)
+	}
+	if freq < 1 {
+		freq = 1
+	}
+	// Find or create the bucket with the requested frequency.
+	var at *list.Element
+	for el := p.buckets.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*freqBucket).freq
+		if f == freq {
+			at = el
+			break
+		}
+		if f > freq {
+			at = p.buckets.InsertBefore(&freqBucket{freq: freq, entries: list.New()}, el)
+			break
+		}
+	}
+	if at == nil {
+		at = p.buckets.PushBack(&freqBucket{freq: freq, entries: list.New()})
+	}
+	b := at.Value.(*freqBucket)
+	ent := &lfuEntry{key: key, bucket: at}
+	ent.elem = b.entries.PushFront(ent)
+	p.items[key] = ent
+}

@@ -1,0 +1,68 @@
+package policy
+
+import "container/list"
+
+// LRU is the classic least-recently-used policy.
+type LRU struct {
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// OnInsert implements Policy.
+func (p *LRU) OnInsert(key string) {
+	if e, ok := p.items[key]; ok {
+		p.ll.MoveToFront(e)
+		return
+	}
+	p.items[key] = p.ll.PushFront(key)
+}
+
+// OnAccess implements Policy.
+func (p *LRU) OnAccess(key string) {
+	if e, ok := p.items[key]; ok {
+		p.ll.MoveToFront(e)
+	}
+}
+
+// OnMiss implements Policy.
+func (p *LRU) OnMiss(string) {}
+
+// OnRemove implements Policy.
+func (p *LRU) OnRemove(key string) {
+	if e, ok := p.items[key]; ok {
+		p.ll.Remove(e)
+		delete(p.items, key)
+	}
+}
+
+// Evict implements Policy.
+func (p *LRU) Evict() (string, bool) {
+	e := p.ll.Back()
+	if e == nil {
+		return "", false
+	}
+	key := e.Value.(string)
+	p.ll.Remove(e)
+	delete(p.items, key)
+	return key, true
+}
+
+// Len implements Policy.
+func (p *LRU) Len() int { return len(p.items) }
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// Oldest returns the current victim candidate without removing it.
+func (p *LRU) Oldest() (string, bool) {
+	e := p.ll.Back()
+	if e == nil {
+		return "", false
+	}
+	return e.Value.(string), true
+}

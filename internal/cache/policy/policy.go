@@ -1,0 +1,46 @@
+// Package policy provides pluggable eviction policies for the result caches:
+// LRU, LFU, LeCaR (Vietri et al., HotStorage'18) and Cacheus (Rodriguez et
+// al., FAST'21). The paper evaluates Range Cache variants that swap LRU for
+// LeCaR or Cacheus, so the range cache accepts any Policy.
+//
+// Policies track key identity only; the owning cache stores the bytes and
+// enforces the capacity, asking the policy for victims. Implementations are
+// not safe for concurrent use — the owning cache shards and locks.
+package policy
+
+// Policy decides evictions for a capacity-bounded cache.
+type Policy interface {
+	// OnInsert records that key entered the cache.
+	OnInsert(key string)
+	// OnAccess records a cache hit on key.
+	OnAccess(key string)
+	// OnMiss records a lookup miss (some policies learn from ghost hits).
+	OnMiss(key string)
+	// OnRemove records that key left the cache for a non-eviction reason
+	// (invalidation by a write, shrink, etc.).
+	OnRemove(key string)
+	// Evict selects a victim, removes it from the policy's bookkeeping and
+	// returns it. ok is false when the policy tracks nothing.
+	Evict() (key string, ok bool)
+	// Len reports how many keys the policy tracks.
+	Len() int
+	// Name identifies the policy in metrics and experiment output.
+	Name() string
+}
+
+// New constructs a policy by name: "lru", "lfu", "arc", "lecar" or
+// "cacheus". Unknown names fall back to LRU.
+func New(name string, capacityHint int) Policy {
+	switch name {
+	case "lfu":
+		return NewLFU()
+	case "arc":
+		return NewARC(capacityHint)
+	case "lecar":
+		return NewLeCaR(capacityHint)
+	case "cacheus":
+		return NewCacheus(capacityHint)
+	default:
+		return NewLRU()
+	}
+}

@@ -1,0 +1,71 @@
+package rangecache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchCache(b *testing.B, policy string) *Cache {
+	b.Helper()
+	c := New(Options{Capacity: 16 << 20, Policy: policy})
+	c.InsertScan(k(0), kvs(0, 10_000))
+	return c
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := benchCache(b, "lru")
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(k(rng.Intn(10_000)))
+	}
+}
+
+func BenchmarkGetMiss(b *testing.B) {
+	c := benchCache(b, "lru")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get([]byte(fmt.Sprintf("zz%08d", i)))
+	}
+}
+
+func BenchmarkScanHit16(b *testing.B) {
+	c := benchCache(b, "lru")
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Scan(k(rng.Intn(9_000)), 16)
+	}
+}
+
+func BenchmarkInsertScan16(b *testing.B) {
+	c := New(Options{Capacity: 16 << 20, Policy: "lru"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (i * 16) % 100_000
+		c.InsertScan(k(start), kvs(start, 16))
+	}
+}
+
+func BenchmarkPutWriteThrough(b *testing.B) {
+	c := benchCache(b, "lru")
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(k(rng.Intn(10_000)), v(i))
+	}
+}
+
+func BenchmarkEvictionPressure(b *testing.B) {
+	for _, policy := range []string{"lru", "lfu", "arc", "lecar", "cacheus"} {
+		b.Run(policy, func(b *testing.B) {
+			// Capacity for ~1000 entries; constant insertion pressure.
+			c := New(Options{Capacity: 1000 * 160, Policy: policy})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.InsertPoint(k(i%50_000), v(i))
+			}
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package rangecache
+
+import "math/rand"
+
+// skiplist is an ordered map of user keys to cache entries supporting
+// predecessor queries and deletion — the "sorted structure" of the Range
+// Cache design. Not safe for concurrent use; the shard locks around it.
+type skiplist struct {
+	head   *slNode
+	height int
+	rnd    *rand.Rand
+	count  int
+}
+
+const slMaxHeight = 12
+
+type slNode struct {
+	entry *entry
+	next  []*slNode
+}
+
+// entry is one cached key-value pair with coverage metadata.
+//
+// contigNext claims that the next cache entry (in key order, same shard) is
+// this key's immediate successor in the database: a scan passing through
+// this entry may continue to the next without missing keys. lowerBound,
+// when non-empty, claims the database holds no keys in [lowerBound, key) —
+// it extends coverage below the entry so scans starting in that gap can
+// anchor here.
+type entry struct {
+	key        string
+	value      []byte
+	contigNext bool
+	lowerBound string // "" means none
+}
+
+func (e *entry) size() int64 { return int64(len(e.key)+len(e.value)) + entryOverhead }
+
+// entryOverhead approximates per-entry bookkeeping bytes (skiplist node,
+// policy node, flags), charged against the cache budget.
+const entryOverhead = 64
+
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:   &slNode{next: make([]*slNode, slMaxHeight)},
+		height: 1,
+		rnd:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < slMaxHeight && s.rnd.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key >= target and fills prev with the
+// search path when non-nil.
+func (s *skiplist) findGE(target string, prev []*slNode) *slNode {
+	n := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for n.next[level] != nil && n.next[level].entry.key < target {
+			n = n.next[level]
+		}
+		if prev != nil {
+			prev[level] = n
+		}
+	}
+	return n.next[0]
+}
+
+// findLT returns the last node with key < target, or nil.
+func (s *skiplist) findLT(target string) *slNode {
+	n := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for n.next[level] != nil && n.next[level].entry.key < target {
+			n = n.next[level]
+		}
+	}
+	if n == s.head {
+		return nil
+	}
+	return n
+}
+
+// get returns the node with exactly key, or nil.
+func (s *skiplist) get(key string) *slNode {
+	n := s.findGE(key, nil)
+	if n != nil && n.entry.key == key {
+		return n
+	}
+	return nil
+}
+
+// insert adds a new entry (key must not be present) and returns its node.
+func (s *skiplist) insert(e *entry) *slNode {
+	prev := make([]*slNode, slMaxHeight)
+	s.findGE(e.key, prev)
+	h := s.randomHeight()
+	if h > s.height {
+		for level := s.height; level < h; level++ {
+			prev[level] = s.head
+		}
+		s.height = h
+	}
+	n := &slNode{entry: e, next: make([]*slNode, h)}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	s.count++
+	return n
+}
+
+// remove unlinks the node with key, returning its entry (nil if absent).
+func (s *skiplist) remove(key string) *entry {
+	prev := make([]*slNode, slMaxHeight)
+	n := s.findGE(key, prev)
+	if n == nil || n.entry.key != key {
+		return nil
+	}
+	for level := 0; level < len(n.next); level++ {
+		if prev[level].next[level] == n {
+			prev[level].next[level] = n.next[level]
+		}
+	}
+	s.count--
+	return n.entry
+}
+
+// first returns the lowest-keyed node, or nil.
+func (s *skiplist) first() *slNode { return s.head.next[0] }
+
+// len reports the entry count.
+func (s *skiplist) len() int { return s.count }

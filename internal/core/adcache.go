@@ -1,0 +1,418 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"adcache/internal/cache/blockcache"
+	"adcache/internal/cache/rangecache"
+	"adcache/internal/lsm"
+	"adcache/internal/rl"
+	"adcache/internal/sketch"
+	"adcache/internal/sstable"
+	"adcache/internal/stats"
+	"adcache/internal/vfs"
+)
+
+// Params are the applied cache-control parameters for the current window:
+// the actor's decoded output (one window behind the latest statistics,
+// §4.2).
+type Params struct {
+	// RangeRatio is the fraction of the budget held by the range cache.
+	RangeRatio float64
+	// PointThreshold is the absolute normalized-frequency score a missed
+	// key must reach to be admitted (§3.4).
+	PointThreshold float64
+	// ScanA is the full-admission scan length threshold a, in keys.
+	ScanA int
+	// ScanB is the partial-admission aggressiveness b ∈ [0,1].
+	ScanB float64
+}
+
+// Config configures an AdCache instance.
+type Config struct {
+	// Capacity is the total byte budget shared by block and range caches.
+	Capacity int64
+	// WindowSize is the operations-per-window control interval
+	// (paper default: 1000).
+	WindowSize int
+	// Alpha is the reward smoothing factor (paper default: 0.9).
+	Alpha float64
+	// InitialRangeRatio seeds the boundary before the agent's first
+	// decision (and fixes it when DisablePartitioning is set).
+	InitialRangeRatio float64
+	// MaxScanLen normalises the ScanA action (default 128).
+	MaxScanLen int
+	// PointThresholdScale maps the actor's [0,1] threshold action onto
+	// normalized-frequency scores, which concentrate near zero
+	// (default 0.01).
+	PointThresholdScale float64
+	// EvictionPolicy selects the range cache's eviction policy
+	// (default "lru").
+	EvictionPolicy string
+	// SplitKeys optionally shard the range cache (§4.4).
+	SplitKeys []string
+
+	// DisableAdmission turns off both point and scan admission control
+	// (Figure 11b's "partitioning only" ablation).
+	DisableAdmission bool
+	// DisablePartitioning freezes the boundary at InitialRangeRatio
+	// (Figure 11b's "admission only" ablation).
+	DisablePartitioning bool
+
+	// RL configures the agent; zero value uses the paper's defaults.
+	RL rl.Config
+	// ModelFS/ModelPath optionally load pretrained weights (§3.6).
+	ModelFS   vfs.FS
+	ModelPath string
+	// PretrainSynthetic, when no model is loaded, runs the synthetic
+	// supervised pretraining at construction (§3.6's "manually crafted"
+	// representative workloads).
+	PretrainSynthetic bool
+
+	// RecordTrace keeps a per-window trace of rewards and parameters
+	// (used to regenerate Figure 10).
+	RecordTrace bool
+
+	// DisableHysteresis applies every ratio action to the boundary verbatim,
+	// including exploration jitter (ablation: quantifies the eviction churn
+	// §3.5 warns about).
+	DisableHysteresis bool
+
+	// SyncTuning runs the control step inline on the operation that closes
+	// each window instead of on the background goroutine. Production mode
+	// is asynchronous (§4.2: learning never blocks serving, late windows
+	// are skipped); experiments use synchronous tuning so every window is
+	// processed and runs are machine-speed independent.
+	SyncTuning bool
+
+	// Shape provides the I/O model parameters when no DB is bound.
+	Shape stats.Shape
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSize <= 0 {
+		c.WindowSize = 1000
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.9
+	}
+	if c.InitialRangeRatio <= 0 {
+		c.InitialRangeRatio = 0.5
+	}
+	if c.MaxScanLen <= 0 {
+		c.MaxScanLen = 128
+	}
+	if c.PointThresholdScale <= 0 {
+		c.PointThresholdScale = 0.01
+	}
+	if c.EvictionPolicy == "" {
+		c.EvictionPolicy = "lru"
+	}
+	if c.RL.ActorLR == 0 && c.RL.CriticLR == 0 && c.RL.Seed == 0 {
+		frozen := c.RL.Frozen
+		c.RL = rl.DefaultConfig()
+		c.RL.Frozen = frozen
+	}
+	if c.Shape.Levels == 0 {
+		c.Shape = stats.Shape{Levels: 3, R0Max: 8, EntriesPerBlock: 16, BloomFPR: 0.008}
+	}
+	return c
+}
+
+// WindowTrace records one control window for experiment plots.
+type WindowTrace struct {
+	Window    stats.Window
+	HEstimate float64
+	HSmoothed float64
+	Reward    float64
+	Params    Params
+	ActorLR   float64
+}
+
+// AdCache is the paper's contribution: block and range caches under one
+// budget with an RL-driven boundary and admission control. It implements
+// lsm.CacheStrategy and is safe for concurrent use; learning runs on a
+// background goroutine decoupled from the serving path (§4.2).
+type AdCache struct {
+	cfg Config
+
+	block     *blockcache.Cache
+	rng       *rangecache.Cache
+	cms       *sketch.CMS
+	collector *stats.Collector
+	agent     *rl.Agent
+
+	params atomic.Value // Params
+
+	opCount atomic.Int64
+	tuneCh  chan struct{}
+	done    chan struct{}
+	stopped sync.Once
+	tuneMu  sync.Mutex // serialises tuneOnce in SyncTuning mode
+
+	// Bound DB (optional): provides live LSM shape for the I/O model.
+	mu       sync.Mutex
+	db       *lsm.DB
+	smoothed float64
+	haveInit bool
+	trace    []WindowTrace
+
+	lastBlockStats blockcache.Stats
+	windowsClosed  atomic.Int64
+}
+
+// New returns a started AdCache. Call Close to stop its tuning goroutine.
+func New(cfg Config) (*AdCache, error) {
+	cfg = cfg.withDefaults()
+	a := &AdCache{
+		cfg:       cfg,
+		cms:       sketch.New(4, 1<<14),
+		collector: &stats.Collector{},
+		agent:     rl.New(cfg.RL),
+		tuneCh:    make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	if cfg.ModelFS != nil && cfg.ModelPath != "" {
+		if err := a.agent.Load(cfg.ModelFS, cfg.ModelPath); err != nil {
+			return nil, err
+		}
+	} else if cfg.PretrainSynthetic {
+		PretrainAgent(a.agent, cfg.MaxScanLen, 7)
+	}
+	rangeBytes := int64(float64(cfg.Capacity) * cfg.InitialRangeRatio)
+	// Shard sizing uses the full budget (the boundary may move the whole
+	// budget to the block side later); the initial split applies via Resize.
+	a.block = blockcache.New(cfg.Capacity)
+	a.block.Resize(cfg.Capacity - rangeBytes)
+	a.rng = rangecache.New(rangecache.Options{
+		Capacity:  rangeBytes,
+		Policy:    cfg.EvictionPolicy,
+		SplitKeys: cfg.SplitKeys,
+	})
+	a.params.Store(Params{
+		RangeRatio:     cfg.InitialRangeRatio,
+		PointThreshold: 0,
+		ScanA:          16, // paper: initialised to the short-scan length
+		ScanB:          0.5,
+	})
+	if !cfg.SyncTuning {
+		go a.tuneLoop()
+	}
+	return a, nil
+}
+
+// Bind attaches the DB so the tuner can read live LSM shape (levels, runs,
+// entries per block) for the I/O-estimate reward. Optional but recommended.
+func (a *AdCache) Bind(db *lsm.DB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.db = db
+}
+
+// Close stops the background tuner.
+func (a *AdCache) Close() {
+	a.stopped.Do(func() { close(a.done) })
+}
+
+// CurrentParams returns the parameters in force for the current window.
+func (a *AdCache) CurrentParams() Params { return a.params.Load().(Params) }
+
+// Agent exposes the RL agent (pretraining tools).
+func (a *AdCache) Agent() *rl.Agent { return a.agent }
+
+// Trace returns the recorded per-window trace (RecordTrace must be set).
+func (a *AdCache) Trace() []WindowTrace {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]WindowTrace(nil), a.trace...)
+}
+
+// Windows reports how many control windows have been processed.
+func (a *AdCache) Windows() int64 { return a.windowsClosed.Load() }
+
+// Block and Range expose the component caches for metrics.
+func (a *AdCache) Block() *blockcache.Cache    { return a.block }
+func (a *AdCache) Range() *rangecache.Cache    { return a.rng }
+func (a *AdCache) Collector() *stats.Collector { return a.collector }
+
+// countOp advances the window clock and pokes the tuner at boundaries.
+func (a *AdCache) countOp() {
+	n := a.opCount.Add(1)
+	if n%int64(a.cfg.WindowSize) != 0 {
+		return
+	}
+	if a.cfg.SyncTuning {
+		a.tuneMu.Lock()
+		a.tuneOnce()
+		a.tuneMu.Unlock()
+		return
+	}
+	select {
+	case a.tuneCh <- struct{}{}:
+	default: // tuner busy; the next boundary will retrigger
+	}
+}
+
+// GetCached implements lsm.CacheStrategy.
+func (a *AdCache) GetCached(key []byte) ([]byte, bool, bool) {
+	a.countOp()
+	if v, ok := a.rng.Get(key); ok {
+		a.collector.RecordPoint(true)
+		return v, true, true
+	}
+	a.collector.RecordPoint(false)
+	return nil, false, false
+}
+
+// ScanCached implements lsm.CacheStrategy.
+func (a *AdCache) ScanCached(start []byte, n int) ([]lsm.KV, bool) {
+	a.countOp()
+	kvs, ok := a.rng.Scan(start, n)
+	a.collector.RecordScan(n, ok)
+	if !ok {
+		return nil, false
+	}
+	out := make([]lsm.KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = lsm.KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, true
+}
+
+// OnPointResult implements lsm.CacheStrategy: frequency-based admission.
+// Every disk-served miss increments the key's sketch counter; the key is
+// admitted only when its normalized score clears the RL-tuned threshold.
+func (a *AdCache) OnPointResult(key, value []byte, blockReads int) {
+	a.collector.RecordBlockReads(blockReads)
+	if value == nil {
+		return
+	}
+	if a.rangeCapacityTiny() {
+		return
+	}
+	if a.cfg.DisableAdmission {
+		a.rng.InsertPoint(key, value)
+		a.collector.RecordPointAdmission(true)
+		return
+	}
+	a.cms.Increment(key)
+	score := a.cms.Score(key)
+	p := a.CurrentParams()
+	admit := score >= p.PointThreshold
+	a.collector.RecordPointAdmission(admit)
+	if admit {
+		a.rng.InsertPoint(key, value)
+	}
+}
+
+// OnScanResult implements lsm.CacheStrategy: partial admission (§3.4).
+// Scans of length l ≤ a are cached whole. Longer scans contribute b·(l−a)
+// entries *beyond the already-covered prefix*, so repeated or overlapping
+// scans extend coverage step by step — after roughly 1/b repetitions the
+// full range is cached — while one-off long scans stay bounded.
+func (a *AdCache) OnScanResult(start []byte, entries []lsm.ScanEntry, blockReads int) {
+	a.collector.RecordBlockReads(blockReads)
+	if len(entries) == 0 || a.rangeCapacityTiny() {
+		return
+	}
+	covered := a.rng.CoveredLen(start, len(entries))
+	admit := a.scanAdmitCount(len(entries), covered)
+	a.collector.RecordScanAdmission(admit, len(entries))
+	if admit <= 0 {
+		return
+	}
+	a.rng.InsertScan(start, toRangeKVs(entries[:admit]))
+}
+
+// scanAdmitCount decides how many result entries to admit for a scan of
+// length l whose first covered entries are already cached.
+func (a *AdCache) scanAdmitCount(l, covered int) int {
+	if a.cfg.DisableAdmission {
+		return l
+	}
+	p := a.CurrentParams()
+	if l <= p.ScanA {
+		return l
+	}
+	grow := int(p.ScanB * float64(l-p.ScanA))
+	if grow < 1 {
+		grow = 1
+	}
+	admit := covered + grow
+	if admit > l {
+		admit = l
+	}
+	return admit
+}
+
+// rangeCapacityTiny reports whether the range cache is too small to hold
+// even one typical entry (the boundary has been pushed to the block side).
+func (a *AdCache) rangeCapacityTiny() bool { return a.rng.Capacity() < 256 }
+
+// OnWrite implements lsm.CacheStrategy: write-through coherence for the
+// range cache.
+func (a *AdCache) OnWrite(key, value []byte, deleted bool) {
+	a.countOp()
+	a.collector.RecordWrite()
+	if deleted {
+		a.rng.Delete(key)
+	} else {
+		a.rng.Put(key, value)
+	}
+}
+
+// BlockCache implements lsm.CacheStrategy.
+func (a *AdCache) BlockCache() sstable.BlockCache { return a.block }
+
+// ScanBlockFillQuota implements lsm.CacheStrategy: block-level partial
+// admission. Short scans fill freely; long scans may insert only the blocks
+// corresponding to their admitted key prefix.
+func (a *AdCache) ScanBlockFillQuota(scanLen int) (int64, bool) {
+	if a.cfg.DisableAdmission {
+		return 0, false
+	}
+	p := a.CurrentParams()
+	if scanLen <= p.ScanA {
+		return 0, false // full admission
+	}
+	// Block-level admission has no per-range coverage notion; budget the
+	// first-pass admission count (covered = 0).
+	admitKeys := a.scanAdmitCount(scanLen, 0)
+	b := a.shape().EntriesPerBlock
+	if b < 1 {
+		b = 1
+	}
+	return int64(float64(admitKeys)/b) + 1, true
+}
+
+// OnCompaction implements lsm.CacheStrategy. Block entries of dead files
+// age out of the LRU naturally (the realistic invalidation cost); the range
+// cache is immune by construction.
+func (a *AdCache) OnCompaction([]uint64, []uint64) {}
+
+// shape returns the live LSM shape when a DB is bound, else the configured
+// static shape. It reads only lock-free snapshots so it is safe from inside
+// engine callbacks (synchronous tuning).
+func (a *AdCache) shape() stats.Shape {
+	a.mu.Lock()
+	db := a.db
+	a.mu.Unlock()
+	if db == nil {
+		return a.cfg.Shape
+	}
+	info := db.ShapeInfo()
+	shape := a.cfg.Shape
+	if info.NonEmptyLevels > 0 {
+		shape.Levels = info.NonEmptyLevels
+	}
+	shape.Runs = info.SortedRuns
+	shape.R0Max = db.Options().L0StopTrigger
+	if info.TotalBytes > 0 && info.TotalEntries > 0 {
+		blocks := float64(info.TotalBytes) / float64(db.Options().BlockSize)
+		if blocks >= 1 {
+			shape.EntriesPerBlock = float64(info.TotalEntries) / blocks
+		}
+	}
+	return shape
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+
+	"adcache/internal/rl"
+	"adcache/internal/trace"
+)
+
+// SyntheticPretrainData generates (state, target action) pairs for the
+// supervised pretraining of §3.6. The paper obtains targets "through
+// controlled experiments" over representative workloads; the targets here
+// encode the controlled findings its static-workload study (Figure 7)
+// establishes:
+//
+//   - point-lookup-dominated, low-write phases want the budget in the
+//     result cache (block caches waste memory on cold keys sharing blocks
+//     with hot ones);
+//   - scan-dominated, low-write phases want the block cache (result caches
+//     pay full LSM seeks on partial hits);
+//   - write-heavy phases shift back toward the range cache, which survives
+//     compaction invalidation;
+//   - scan admission should fully admit short scans (a ≈ the short-scan
+//     length) and partially admit long ones.
+func SyntheticPretrainData(maxScanLen int, seed int64) ([][]float32, []rl.Action) {
+	rng := rand.New(rand.NewSource(seed))
+	var states [][]float32
+	var targets []rl.Action
+
+	mixes := [][4]float64{} // point, shortScan, longScan, write
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for _, ss := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			for _, ls := range []float64{0, 0.25, 0.5, 1} {
+				for _, w := range []float64{0, 0.25, 0.5, 0.75, 1} {
+					sum := p + ss + ls + w
+					if sum == 0 {
+						continue
+					}
+					mixes = append(mixes, [4]float64{p / sum, ss / sum, ls / sum, w / sum})
+				}
+			}
+		}
+	}
+
+	for _, m := range mixes {
+		point, short, long, write := m[0], m[1], m[2], m[3]
+		scan := short + long
+		var avgScanLen float64
+		if scan > 0 {
+			avgScanLen = (short*16 + long*64) / scan
+		}
+		target := TargetForMix(point, short, long, write, avgScanLen, maxScanLen)
+
+		// Secondary features vary so the actor keys on workload mix, not
+		// incidental state.
+		for i := 0; i < 2; i++ {
+			states = append(states, syntheticState(point, scan, write, avgScanLen, maxScanLen, rng))
+			targets = append(targets, target)
+		}
+	}
+	return states, targets
+}
+
+// TargetForMix maps a workload mix onto the pretraining target action,
+// encoding the Figure 7 findings (see SyntheticPretrainData).
+func TargetForMix(point, short, long, write, avgScanLen float64, maxScanLen int) rl.Action {
+	// Target boundary: results-cache share by workload role.
+	ratio := point*1.0 + short*0.05 + long*0.10 + write*0.85
+	// Admission: filter aggressively only when point lookups dominate.
+	threshold := 0.05 + 0.15*point
+	// Scan a: admit short scans whole, cap so long scans go partial.
+	aKeys := 1.2 * avgScanLen
+	if aKeys > 20 {
+		aKeys = 20
+	}
+	if short+long == 0 {
+		aKeys = 16
+	}
+	return rl.Action{
+		RangeRatio:     clamp01(ratio),
+		PointThreshold: clamp01(threshold),
+		ScanA:          clamp01(aKeys / float64(maxScanLen)),
+		ScanB:          0.4,
+	}
+}
+
+// syntheticState builds a state vector for a mix, randomising the features
+// that vary at runtime.
+func syntheticState(point, scan, write, avgScanLen float64, maxScanLen int, rng *rand.Rand) []float32 {
+	s := make([]float32, rl.StateDim)
+	s[0] = float32(point)
+	s[1] = float32(scan)
+	s[2] = float32(write)
+	s[3] = float32(clamp01(avgScanLen / float64(maxScanLen)))
+	s[4] = float32(rng.Float64() * 0.8)
+	s[5] = float32(rng.Float64() * 0.8)
+	s[6] = float32(0.2 + rng.Float64()*0.6)
+	s[7] = float32(rng.Float64() * 0.9)
+	s[8] = float32(rng.Float64())
+	s[9] = float32(0.4 + rng.Float64()*0.6)
+	s[10] = float32(0.3 + rng.Float64()*0.3)
+	s[11] = float32(clamp01((avgScanLen/16 + 2) / 32))
+	return s
+}
+
+// PretrainDataFromWindows converts recorded trace windows (§3.6's
+// "workloads gathered from deployed databases") into supervised pretraining
+// pairs, using the same target mapping as the synthetic data.
+func PretrainDataFromWindows(ws []trace.WindowFeatures, maxScanLen int, seed int64) ([][]float32, []rl.Action) {
+	rng := rand.New(rand.NewSource(seed))
+	var states [][]float32
+	var targets []rl.Action
+	for _, w := range ws {
+		ops := float64(w.Ops())
+		if ops == 0 {
+			continue
+		}
+		point := float64(w.Points) / ops
+		short := float64(w.ShortScans) / ops
+		long := float64(w.LongScans) / ops
+		write := float64(w.Writes) / ops
+		avg := w.AvgScanLen()
+		states = append(states, syntheticState(point, short+long, write, avg, maxScanLen, rng))
+		targets = append(targets, TargetForMix(point, short, long, write, avg, maxScanLen))
+	}
+	return states, targets
+}
+
+// PretrainAgent runs the synthetic supervised pretraining and returns the
+// final loss.
+func PretrainAgent(agent *rl.Agent, maxScanLen int, seed int64) float64 {
+	states, targets := SyntheticPretrainData(maxScanLen, seed)
+	return agent.PretrainSupervised(states, targets, 15, 1e-3)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"adcache/internal/rl"
+	"adcache/internal/stats"
+)
+
+// tuneLoop is the Background Tuning Module (§3.1): it wakes at window
+// boundaries, computes the smoothed I/O-estimate reward, updates the agent
+// for its previous decision, asks for the next action, and applies it. The
+// serving path never blocks on this goroutine — parameter updates land one
+// window behind the statistics that produced them (§4.2).
+func (a *AdCache) tuneLoop() {
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-a.tuneCh:
+			a.tuneOnce()
+		}
+	}
+}
+
+func (a *AdCache) tuneOnce() {
+	w := a.collector.EndWindow()
+	if w.Ops() == 0 {
+		return
+	}
+	shape := a.shape()
+	hEst := shape.HitRateEstimate(w)
+
+	// Reward smoothing (§3.5): h ← α·h + (1−α)·h_est. The relative change
+	// Δh/h drives the adaptive learning rate exactly as published; the
+	// smoothed level itself is the critic's return signal (see the
+	// deviation note on rl.Agent.Update).
+	a.mu.Lock()
+	var lrDelta float64
+	if !a.haveInit {
+		a.smoothed = hEst
+		a.haveInit = true
+	} else {
+		next := a.cfg.Alpha*a.smoothed + (1-a.cfg.Alpha)*hEst
+		if next > 1e-9 {
+			lrDelta = (next - a.smoothed) / next
+		}
+		a.smoothed = next
+	}
+	smoothed := a.smoothed
+	a.mu.Unlock()
+
+	state := a.buildState(w, shape, hEst)
+	a.agent.Update(smoothed, lrDelta, state)
+	action := a.agent.Act(state)
+	params := a.decodeAction(action)
+	a.applyParams(params)
+
+	a.windowsClosed.Add(1)
+	if a.cfg.RecordTrace {
+		a.mu.Lock()
+		a.trace = append(a.trace, WindowTrace{
+			Window:    w,
+			HEstimate: hEst,
+			HSmoothed: smoothed,
+			Reward:    lrDelta,
+			Params:    params,
+			ActorLR:   a.agent.ActorLR(),
+		})
+		a.mu.Unlock()
+	}
+}
+
+// decodeAction maps the actor's [0,1] outputs onto concrete parameters.
+func (a *AdCache) decodeAction(act rl.Action) Params {
+	p := Params{
+		RangeRatio:     act.RangeRatio,
+		PointThreshold: act.PointThreshold * a.cfg.PointThresholdScale,
+		ScanA:          int(act.ScanA*float64(a.cfg.MaxScanLen)) + 1,
+		ScanB:          act.ScanB,
+	}
+	if a.cfg.DisablePartitioning {
+		p.RangeRatio = a.cfg.InitialRangeRatio
+	}
+	if a.cfg.DisableAdmission {
+		p.PointThreshold = 0
+		p.ScanA = a.cfg.MaxScanLen
+		p.ScanB = 1
+	}
+	return p
+}
+
+// applyParams publishes params and moves the cache boundary. Small ratio
+// jitters (exploration noise) are not applied to the boundary: every
+// downward resize evicts entries, and §3.5 warns that frequent boundary
+// adjustments degrade performance. Admission parameters always apply.
+func (a *AdCache) applyParams(p Params) {
+	prev := a.CurrentParams()
+	if diff := p.RangeRatio - prev.RangeRatio; !a.cfg.DisableHysteresis && diff < 0.02 && diff > -0.02 {
+		p.RangeRatio = prev.RangeRatio
+	}
+	a.params.Store(p)
+	rangeBytes := int64(float64(a.cfg.Capacity) * p.RangeRatio)
+	a.block.Resize(a.cfg.Capacity - rangeBytes)
+	a.rng.Resize(rangeBytes)
+}
+
+// buildState assembles the agent's observation: workload composition, scan
+// shape, cache effectiveness and occupancy, and tree state — the features
+// §3.5 lists.
+func (a *AdCache) buildState(w stats.Window, shape stats.Shape, hEst float64) []float32 {
+	ops := float64(w.Ops())
+	if ops == 0 {
+		ops = 1
+	}
+	state := make([]float32, rl.StateDim)
+	state[0] = float32(float64(w.Points) / ops)
+	state[1] = float32(float64(w.Scans) / ops)
+	state[2] = float32(float64(w.Writes) / ops)
+	state[3] = float32(clamp01f(w.AvgScanLen() / float64(a.cfg.MaxScanLen)))
+	if w.Points > 0 {
+		state[4] = float32(float64(w.RangeGetHits) / float64(w.Points))
+	}
+	if w.Scans > 0 {
+		state[5] = float32(float64(w.RangeScanHits) / float64(w.Scans))
+	}
+	state[6] = float32(hEst)
+
+	bs := a.block.Stats()
+	dHits := bs.Hits - a.lastBlockStats.Hits
+	dMisses := bs.Misses - a.lastBlockStats.Misses
+	a.lastBlockStats = bs
+	if total := dHits + dMisses; total > 0 {
+		state[7] = float32(float64(dHits) / float64(total))
+	}
+	state[8] = float32(a.CurrentParams().RangeRatio)
+	if c := a.rng.Capacity(); c > 0 {
+		state[9] = float32(clamp01f(float64(a.rng.Used()) / float64(c)))
+	}
+	state[10] = float32(clamp01f(float64(shape.Levels) / 7))
+	state[11] = float32(clamp01f(shape.IOScan(w.AvgScanLen()) / 32))
+	return state
+}
+
+func clamp01f(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

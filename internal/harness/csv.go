@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCellsCSV emits measurement cells (Figures 1, 7, 9) as CSV for
+// external plotting.
+func WriteCellsCSV(w io.Writer, cells []Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"workload", "cache_frac", "skew", "strategy",
+		"hit_rate", "block_reads", "reads_per_op", "qps", "ops",
+	}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		rec := []string{
+			c.Workload,
+			fmt.Sprintf("%.4f", c.CacheFrac),
+			fmt.Sprintf("%.2f", c.Skew),
+			c.Strategy,
+			fmt.Sprintf("%.6f", c.Result.HitRate),
+			fmt.Sprintf("%d", c.Result.BlockReads),
+			fmt.Sprintf("%.4f", c.Result.ReadsPerOp()),
+			fmt.Sprintf("%.1f", c.Result.QPS),
+			fmt.Sprintf("%d", c.Result.Ops),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePhasesCSV emits Figure 8 phase measurements as CSV.
+func WritePhasesCSV(w io.Writer, results []PhaseResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"phase", "strategy", "hit_rate", "qps", "block_reads", "ops",
+	}); err != nil {
+		return err
+	}
+	for _, pr := range results {
+		rec := []string{
+			pr.Phase,
+			pr.Strategy,
+			fmt.Sprintf("%.6f", pr.Result.HitRate),
+			fmt.Sprintf("%.1f", pr.Result.QPS),
+			fmt.Sprintf("%d", pr.Result.BlockReads),
+			fmt.Sprintf("%d", pr.Result.Ops),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTraceCSV emits Figure 10 window traces as CSV.
+func WriteTraceCSV(w io.Writer, series []Fig10Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"series", "window", "h_estimate", "h_smoothed", "reward",
+		"range_ratio", "point_threshold", "scan_a", "scan_b", "actor_lr",
+	}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i, tr := range s.Traces {
+			rec := []string{
+				s.Label,
+				fmt.Sprintf("%d", i),
+				fmt.Sprintf("%.6f", tr.HEstimate),
+				fmt.Sprintf("%.6f", tr.HSmoothed),
+				fmt.Sprintf("%.6f", tr.Reward),
+				fmt.Sprintf("%.4f", tr.Params.RangeRatio),
+				fmt.Sprintf("%.6f", tr.Params.PointThreshold),
+				fmt.Sprintf("%d", tr.Params.ScanA),
+				fmt.Sprintf("%.4f", tr.Params.ScanB),
+				fmt.Sprintf("%.6g", tr.ActorLR),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

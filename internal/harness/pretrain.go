@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"sync"
+
+	"adcache/internal/core"
+	"adcache/internal/rl"
+	"adcache/internal/vfs"
+)
+
+var (
+	pretrainOnce sync.Once
+	pretrainFS   *vfs.MemFS
+)
+
+// PretrainedModel returns a process-cached pretrained actor-critic model
+// (§3.6): the synthetic supervised pretraining runs once, and every AdCache
+// runner loads the same weights — matching the paper's "pretrained model can
+// be deployed across machines" portability argument.
+func PretrainedModel() (vfs.FS, string) {
+	pretrainOnce.Do(func() {
+		agent := rl.New(rl.DefaultConfig())
+		core.PretrainAgent(agent, 128, 7)
+		pretrainFS = vfs.NewMem()
+		if err := agent.Save(pretrainFS, "pretrained"); err != nil {
+			// The in-memory FS cannot fail; a failure here is programmer
+			// error worth crashing loudly over.
+			panic(err)
+		}
+	})
+	return pretrainFS, "pretrained"
+}

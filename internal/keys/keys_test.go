@@ -1,0 +1,122 @@
+package keys
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	ik := Make([]byte("user42"), 12345, KindSet)
+	if !ik.Valid() {
+		t.Fatal("not valid")
+	}
+	if string(ik.UserKey()) != "user42" {
+		t.Fatalf("UserKey = %q", ik.UserKey())
+	}
+	if ik.Seq() != 12345 {
+		t.Fatalf("Seq = %d", ik.Seq())
+	}
+	if ik.Kind() != KindSet {
+		t.Fatalf("Kind = %d", ik.Kind())
+	}
+}
+
+func TestTombstone(t *testing.T) {
+	ik := Make([]byte("k"), 7, KindDelete)
+	if ik.Kind() != KindDelete {
+		t.Fatalf("Kind = %d", ik.Kind())
+	}
+}
+
+func TestOrderingUserKeyAscSeqDesc(t *testing.T) {
+	ks := []InternalKey{
+		Make([]byte("a"), 5, KindSet),
+		Make([]byte("a"), 9, KindSet),
+		Make([]byte("a"), 9, KindDelete),
+		Make([]byte("b"), 1, KindSet),
+		Make([]byte("ab"), 100, KindSet),
+	}
+	sort.Slice(ks, func(i, j int) bool { return Compare(ks[i], ks[j]) < 0 })
+	// Expected: a#9,Set > a#9,Delete? Kind set(1) > delete(0), and higher
+	// trailer sorts FIRST. So order: a#9Set, a#9Del, a#5Set, ab, b.
+	want := []struct {
+		user string
+		seq  uint64
+		kind Kind
+	}{
+		{"a", 9, KindSet}, {"a", 9, KindDelete}, {"a", 5, KindSet},
+		{"ab", 100, KindSet}, {"b", 1, KindSet},
+	}
+	for i, w := range want {
+		if string(ks[i].UserKey()) != w.user || ks[i].Seq() != w.seq || ks[i].Kind() != w.kind {
+			t.Fatalf("position %d = %s, want %q#%d,%d", i, ks[i], w.user, w.seq, w.kind)
+		}
+	}
+}
+
+func TestMakeSearchFindsNewestVisible(t *testing.T) {
+	// Searching at snapshot 10 must sort at-or-before version 10 and after
+	// version 11.
+	search := MakeSearch([]byte("k"), 10)
+	v10 := Make([]byte("k"), 10, KindSet)
+	v11 := Make([]byte("k"), 11, KindSet)
+	if Compare(search, v10) > 0 {
+		t.Fatal("search sorts after the visible version")
+	}
+	if Compare(search, v11) < 0 {
+		t.Fatal("search sorts before an invisible newer version")
+	}
+}
+
+func TestMaxSeqRoundTrip(t *testing.T) {
+	ik := Make([]byte("k"), MaxSeq, KindSet)
+	if ik.Seq() != MaxSeq {
+		t.Fatalf("Seq = %d, want MaxSeq", ik.Seq())
+	}
+}
+
+// TestCompareConsistentWithParts property-checks that Compare agrees with
+// comparing (userKey asc, seq desc, kind desc).
+func TestCompareConsistentWithParts(t *testing.T) {
+	f := func(ka, kb []byte, sa, sb uint16, da, db bool) bool {
+		kindA, kindB := KindSet, KindSet
+		if da {
+			kindA = KindDelete
+		}
+		if db {
+			kindB = KindDelete
+		}
+		a := Make(ka, uint64(sa), kindA)
+		b := Make(kb, uint64(sb), kindB)
+		got := Compare(a, b)
+		want := bytes.Compare(ka, kb)
+		if want == 0 {
+			switch {
+			case uint64(sa) > uint64(sb):
+				want = -1
+			case uint64(sa) < uint64(sb):
+				want = 1
+			case kindA > kindB:
+				want = -1
+			case kindA < kindB:
+				want = 1
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	ik := Make([]byte("k"), 3, KindSet)
+	if s := ik.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+	if s := InternalKey([]byte{1}).String(); s == "" {
+		t.Fatal("invalid key String() empty")
+	}
+}

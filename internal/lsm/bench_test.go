@@ -1,0 +1,121 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adcache/internal/vfs"
+)
+
+func benchDB(b *testing.B, n int) *DB {
+	b.Helper()
+	opts := DefaultOptions("benchdb")
+	opts.FS = vfs.NewMem()
+	db, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), val(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkDBPut(b *testing.B) {
+	opts := DefaultOptions("benchdb")
+	opts.FS = vfs.NewMem()
+	db, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	value := val(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(key(i%100_000), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDBGetUncached(b *testing.B) {
+	db := benchDB(b, 50_000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := db.Get(key(rng.Intn(50_000))); err != nil || !ok {
+			b.Fatal("get failed")
+		}
+	}
+	b.ReportMetric(float64(db.QueryBlockReads())/float64(b.N), "blockreads/op")
+}
+
+func BenchmarkDBGetBloomNegative(b *testing.B) {
+	db := benchDB(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _ := db.Get([]byte(fmt.Sprintf("absent%012d", i))); ok {
+			b.Fatal("phantom key")
+		}
+	}
+}
+
+func BenchmarkDBScan16(b *testing.B) {
+	db := benchDB(b, 50_000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Scan(key(rng.Intn(49_000)), 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDBBatchCommit(b *testing.B) {
+	opts := DefaultOptions("benchdb")
+	opts.FS = vfs.NewMem()
+	db, err := Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := NewBatch()
+		for j := 0; j < 16; j++ {
+			batch.Put(key((i*16+j)%100_000), val(j))
+		}
+		if err := db.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDBIterate(b *testing.B) {
+	db := benchDB(b, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := db.NewIter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for ok := it.First(); ok; ok = it.Next() {
+			n++
+		}
+		it.Close()
+		if n != 20_000 {
+			b.Fatalf("iterated %d", n)
+		}
+	}
+}

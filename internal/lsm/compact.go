@@ -1,0 +1,216 @@
+package lsm
+
+import (
+	"bytes"
+	"sort"
+
+	"adcache/internal/compaction"
+	"adcache/internal/keys"
+	"adcache/internal/manifest"
+	"adcache/internal/sstable"
+)
+
+// maybeCompactLocked runs compactions until the tree satisfies its shape
+// invariants. Caller holds d.mu.
+func (d *DB) maybeCompactLocked() error {
+	for {
+		plan := compaction.Pick(d.version, d.pickerConfig(), d.roundRobin)
+		if plan == nil {
+			return nil
+		}
+		if err := d.runCompactionLocked(plan); err != nil {
+			return err
+		}
+	}
+}
+
+// runCompactionLocked merges plan's inputs into the output level.
+func (d *DB) runCompactionLocked(plan *compaction.Plan) error {
+	inputs := plan.Files()
+	iters := make([]internalIterator, 0, len(inputs))
+	for _, f := range inputs {
+		r, err := d.tc.get(f.FileNum)
+		if err != nil {
+			return err
+		}
+		// Compaction reads bypass cache fill: RocksDB does not pollute the
+		// block cache with compaction I/O, and neither do we. Reads are
+		// still counted as file I/O by the vfs layer.
+		it, err := r.NewIterNoCache()
+		if err != nil {
+			return err
+		}
+		iters = append(iters, it)
+	}
+
+	merged := newMergingIter(iters...)
+	outputs, err := d.writeCompactionOutputs(merged, plan.LastLevel)
+	if err != nil {
+		return err
+	}
+
+	// Install the new version. Obsolete input files are deleted by the
+	// version GC once no in-flight read pins them.
+	nv := d.version.Clone()
+	removeFiles(nv, plan.InputLevel, plan.Inputs)
+	removeFiles(nv, plan.OutputLevel, plan.Overlaps)
+	nv.Levels[plan.OutputLevel] = append(nv.Levels[plan.OutputLevel], outputs...)
+	sort.Slice(nv.Levels[plan.OutputLevel], func(i, j int) bool {
+		lvl := nv.Levels[plan.OutputLevel]
+		return keys.Compare(lvl[i].Smallest, lvl[j].Smallest) < 0
+	})
+	oldNums := make([]uint64, 0, len(inputs))
+	for _, f := range inputs {
+		oldNums = append(oldNums, f.FileNum)
+		d.compactedBytes += int64(f.Size)
+	}
+	d.installVersion(nv, oldNums)
+	d.compactions++
+	if err := d.saveManifest(); err != nil {
+		return err
+	}
+
+	// Notify the strategy: this is the moment block-cache entries keyed by
+	// the old files become dead weight.
+	newNums := make([]uint64, 0, len(outputs))
+	for _, f := range outputs {
+		newNums = append(newNums, f.FileNum)
+		d.compactionOut += int64(f.Size)
+	}
+	d.strategy.OnCompaction(oldNums, newNums)
+
+	if d.opts.PrefetchOnCompaction > 0 && d.strategy.BlockCache() != nil {
+		if err := d.prefetchOutputs(outputs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefetchOutputs warms the block cache with the leading blocks of each
+// compaction output (Leaper-style re-population). Reads go through the
+// normal cached-read path so the cache applies its own admission.
+func (d *DB) prefetchOutputs(outputs []*manifest.FileMeta) error {
+	for _, f := range outputs {
+		r, err := d.tc.get(f.FileNum)
+		if err != nil {
+			return err
+		}
+		var stats sstable.ReadStats
+		it, err := r.NewIter(&stats)
+		if err != nil {
+			return err
+		}
+		// One entry per block suffices to pull the block in; stepping a
+		// whole block at a time needs only the iterator's block boundary,
+		// so walk entries until the misses counter reaches the budget.
+		for ok := it.First(); ok; ok = it.Next() {
+			if stats.BlockMisses+stats.BlockHits >= int64(d.opts.PrefetchOnCompaction) {
+				break
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCompactionOutputs streams merged into output tables, dropping
+// shadowed versions and — when compacting into the deepest data level —
+// tombstones.
+func (d *DB) writeCompactionOutputs(merged *mergingIter, lastLevel bool) ([]*manifest.FileMeta, error) {
+	var outputs []*manifest.FileMeta
+	var w *sstable.Writer
+	var f interface {
+		Close() error
+	}
+	var fileNum uint64
+	var lastUser []byte
+
+	finish := func() error {
+		if w == nil {
+			return nil
+		}
+		meta, err := w.Finish()
+		if err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		outputs = append(outputs, &manifest.FileMeta{
+			FileNum:    fileNum,
+			Size:       meta.Size,
+			NumEntries: meta.NumEntries,
+			Smallest:   append(keys.InternalKey(nil), meta.Smallest...),
+			Largest:    append(keys.InternalKey(nil), meta.Largest...),
+		})
+		w, f = nil, nil
+		return nil
+	}
+
+	for ok := merged.First(); ok; ok = merged.Next() {
+		ik := merged.Key()
+		uk := ik.UserKey()
+		if lastUser != nil && bytes.Equal(uk, lastUser) {
+			// Shadowed older version.
+			d.obsoleteEntries++
+			continue
+		}
+		lastUser = append(lastUser[:0], uk...)
+		if lastLevel && ik.Kind() == keys.KindDelete {
+			// Tombstone reaching the deepest data level: drop it.
+			d.obsoleteEntries++
+			continue
+		}
+		if w == nil {
+			fileNum = d.nextFileNum
+			d.nextFileNum++
+			file, err := d.fs.Create(sstPath(d.opts.Dir, fileNum))
+			if err != nil {
+				return nil, err
+			}
+			f = file
+			w = sstable.NewWriter(file, sstable.WriterOptions{
+				BlockSize:  d.opts.BlockSize,
+				BitsPerKey: d.opts.BitsPerKey,
+			})
+		}
+		if err := w.Add(ik, merged.Value()); err != nil {
+			return nil, err
+		}
+		if w.EstimatedSize() >= uint64(d.opts.TargetFileSize) {
+			if err := finish(); err != nil {
+				return nil, err
+			}
+			// Keys cannot repeat across outputs; reset the dedup anchor is
+			// unnecessary (lastUser continues across files by design).
+		}
+	}
+	if err := merged.Err(); err != nil {
+		return nil, err
+	}
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return outputs, nil
+}
+
+// removeFiles deletes the given files from the version's level in place.
+func removeFiles(v *manifest.Version, level int, files []*manifest.FileMeta) {
+	if len(files) == 0 {
+		return
+	}
+	dead := make(map[uint64]bool, len(files))
+	for _, f := range files {
+		dead[f.FileNum] = true
+	}
+	kept := v.Levels[level][:0:0]
+	for _, f := range v.Levels[level] {
+		if !dead[f.FileNum] {
+			kept = append(kept, f)
+		}
+	}
+	v.Levels[level] = kept
+}

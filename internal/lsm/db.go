@@ -1,0 +1,590 @@
+// Package lsm implements the leveled LSM-tree storage engine the AdCache
+// reproduction runs on: a scaled-down analogue of the RocksDB configuration
+// used by the paper (1-leveling with size ratio 10, 4 KiB blocks, Bloom
+// filters at 10 bits/key, L0 slowdown/stop triggers).
+//
+// The engine exposes the paper's Figure 5 integration points through the
+// CacheStrategy interface: result caches are consulted before the MemTable,
+// block reads flow through a pluggable block cache, and completed queries
+// and writes are reported back to the strategy for admission and coherence.
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"adcache/internal/compaction"
+	"adcache/internal/keys"
+	"adcache/internal/manifest"
+	"adcache/internal/memtable"
+	"adcache/internal/sstable"
+	"adcache/internal/vfs"
+	"adcache/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("lsm: database closed")
+
+// DB is an LSM-tree key-value store. It is safe for concurrent use by
+// multiple goroutines; writes are serialised internally.
+type DB struct {
+	opts     Options
+	fs       *vfs.CountingFS
+	strategy CacheStrategy
+	store    *manifest.Store
+	tc       *tableCache
+
+	mu      sync.RWMutex
+	mem     *memtable.MemTable
+	version *manifest.Version // latest version; mutations under mu
+	lastSeq uint64
+
+	// Version pinning (see version_ref.go).
+	verMu       sync.Mutex
+	current     *versionHandle
+	live        map[*versionHandle]struct{}
+	zombies     map[uint64]bool
+	nextFileNum uint64
+	walNum      uint64
+	log         *wal.Writer
+	roundRobin  map[int][]byte
+	closed      bool
+
+	// shapeInfo is a lock-free snapshot of tree-shape figures, refreshed on
+	// every version install. Cache strategies read it from inside engine
+	// callbacks (where taking d.mu would deadlock).
+	shapeInfo atomic.Value // ShapeInfo
+
+	// Query-path I/O counters (atomic): block reads and block-cache hits
+	// attributable to Get/Scan only, excluding flush/compaction/recovery
+	// I/O — the paper's "SST reads" metric.
+	queryBlockReads atomic.Int64
+	queryBlockHits  atomic.Int64
+
+	// Counters (guarded by mu).
+	flushes         int64
+	compactions     int64
+	stallSlowdowns  int64
+	stallStops      int64
+	memSeed         int64
+	compactedBytes  int64 // bytes read as compaction inputs
+	compactionOut   int64 // bytes written as compaction outputs
+	flushedBytes    int64
+	userBytes       int64
+	obsoleteEntries int64
+}
+
+// Open opens (creating if necessary) the database described by opts.
+func Open(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	fs := vfs.NewCounting(opts.FS)
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, err
+	}
+	strategy := opts.Strategy
+	if strategy == nil {
+		strategy = NoCache{}
+	}
+	db := &DB{
+		opts:       opts,
+		fs:         fs,
+		strategy:   strategy,
+		store:      manifest.NewStore(fs, opts.Dir),
+		roundRobin: make(map[int][]byte),
+		memSeed:    opts.Seed,
+	}
+	db.tc = newTableCache(fs, opts.Dir, strategy.BlockCache())
+	db.mem = memtable.New(db.nextMemSeed())
+	db.live = make(map[*versionHandle]struct{})
+	db.zombies = make(map[uint64]bool)
+
+	st, found, err := db.store.Load()
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		db.installVersion(st.Version, nil)
+		db.lastSeq = st.LastSeq
+		db.nextFileNum = st.NextFileNum
+		db.walNum = st.WALNum
+		if err := db.replayWAL(); err != nil {
+			return nil, err
+		}
+	} else {
+		db.installVersion(manifest.NewVersion(opts.NumLevels), nil)
+		db.nextFileNum = 1
+	}
+	if err := db.rotateWAL(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (d *DB) nextMemSeed() int64 {
+	d.memSeed++
+	return d.memSeed
+}
+
+func (d *DB) replayWAL() error {
+	if d.walNum == 0 {
+		return nil
+	}
+	path := walPath(d.opts.Dir, d.walNum)
+	if !d.fs.Exists(path) {
+		return nil
+	}
+	f, err := d.fs.Open(path)
+	if err != nil {
+		return err
+	}
+	maxSeq, err := wal.Replay(f, func(rec wal.Record) error {
+		d.mem.Set(keys.Make(rec.Key, rec.Seq, rec.Kind), rec.Value)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if maxSeq > d.lastSeq {
+		d.lastSeq = maxSeq
+	}
+	return nil
+}
+
+// rotateWAL starts a fresh log and removes the previous one. Caller holds no
+// lock (during Open) or the write lock (during flush).
+func (d *DB) rotateWAL() error {
+	oldNum := d.walNum
+	d.walNum = d.nextFileNum
+	d.nextFileNum++
+	f, err := d.fs.Create(walPath(d.opts.Dir, d.walNum))
+	if err != nil {
+		return err
+	}
+	if d.log != nil {
+		if err := d.log.Close(); err != nil {
+			return err
+		}
+	}
+	d.log = wal.NewWriter(f)
+	if err := d.saveManifest(); err != nil {
+		return err
+	}
+	if oldNum != 0 && d.fs.Exists(walPath(d.opts.Dir, oldNum)) {
+		if err := d.fs.Remove(walPath(d.opts.Dir, oldNum)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *DB) saveManifest() error {
+	return d.store.Save(manifest.State{
+		NextFileNum: d.nextFileNum,
+		LastSeq:     d.lastSeq,
+		WALNum:      d.walNum,
+		Version:     d.version,
+	})
+}
+
+// Put stores key=value.
+func (d *DB) Put(key, value []byte) error {
+	return d.write(key, value, keys.KindSet)
+}
+
+// Delete removes key.
+func (d *DB) Delete(key []byte) error {
+	return d.write(key, nil, keys.KindDelete)
+}
+
+func (d *DB) write(key, value []byte, kind keys.Kind) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	// Stall accounting mirrors the paper's RocksDB configuration (slowdown
+	// at L0CompactTrigger, stop at L0StopTrigger). Compaction runs inline,
+	// so the stall manifests as compaction latency in this write.
+	if n := len(d.version.Levels[0]); n >= d.opts.L0StopTrigger {
+		d.stallStops++
+	} else if n >= d.opts.L0CompactTrigger {
+		d.stallSlowdowns++
+	}
+
+	d.lastSeq++
+	seq := d.lastSeq
+	if err := d.log.Append(wal.Record{Seq: seq, Kind: kind, Key: key, Value: value}); err != nil {
+		return err
+	}
+	keyCopy := append([]byte(nil), key...)
+	valCopy := append([]byte(nil), value...)
+	d.mem.Set(keys.Make(keyCopy, seq, kind), valCopy)
+	d.userBytes += int64(len(key) + len(value))
+
+	d.strategy.OnWrite(keyCopy, valCopy, kind == keys.KindDelete)
+
+	if d.mem.ApproximateSize() >= d.opts.MemTableSize {
+		if err := d.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the value for key, following the paper's query-handling path:
+// range/result cache → MemTable → block cache → disk.
+func (d *DB) Get(key []byte) ([]byte, bool, error) {
+	// 1. Result cache.
+	if v, found, ok := d.strategy.GetCached(key); ok {
+		return v, found, nil
+	}
+
+	// The read lock is held across table reads AND the admission callback:
+	// writers update result caches under the write lock (OnWrite), so
+	// admitting inside the read critical section guarantees a stale result
+	// can never overwrite a newer write in the cache.
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, false, ErrClosed
+	}
+	mem := d.mem
+	h := d.acquireVersion()
+	seq := d.lastSeq
+	defer d.releaseVersion(h)
+	version := h.v
+
+	// 2. MemTable.
+	if v, deleted, ok := mem.Get(key, seq); ok {
+		if deleted {
+			return nil, false, nil
+		}
+		// Served from memory: no disk involved, nothing to admit (the
+		// cache-fill path only captures disk-served results, Figure 5).
+		return v, true, nil
+	}
+
+	// 3. SSTables through the block cache.
+	var stats sstable.ReadStats
+	value, found, err := d.getFromTables(version, key, seq, &stats)
+	if err != nil {
+		return nil, false, err
+	}
+	d.queryBlockReads.Add(stats.BlockMisses)
+	d.queryBlockHits.Add(stats.BlockHits)
+	d.strategy.OnPointResult(key, value, int(stats.BlockMisses))
+	return value, found, nil
+}
+
+func (d *DB) getFromTables(v *manifest.Version, key []byte, seq uint64, stats *sstable.ReadStats) ([]byte, bool, error) {
+	// L0: newest file first.
+	for _, f := range v.Levels[0] {
+		if !f.ContainsUser(key) {
+			continue
+		}
+		r, err := d.tc.get(f.FileNum)
+		if err != nil {
+			return nil, false, err
+		}
+		val, deleted, ok, err := r.Get(key, seq, stats)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if deleted {
+				return nil, false, nil
+			}
+			return val, true, nil
+		}
+	}
+	// L1+: at most one file per level can contain the key.
+	for level := 1; level < len(v.Levels); level++ {
+		f := findFile(v.Levels[level], key)
+		if f == nil {
+			continue
+		}
+		r, err := d.tc.get(f.FileNum)
+		if err != nil {
+			return nil, false, err
+		}
+		val, deleted, ok, err := r.Get(key, seq, stats)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if deleted {
+				return nil, false, nil
+			}
+			return val, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// findFile binary-searches a sorted non-overlapping level for the file
+// containing key.
+func findFile(files []*manifest.FileMeta, key []byte) *manifest.FileMeta {
+	lo, hi := 0, len(files)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if string(files[mid].Largest.UserKey()) < string(key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(files) && files[lo].ContainsUser(key) {
+		return files[lo]
+	}
+	return nil
+}
+
+// Scan returns up to n live key-value pairs with key >= start, in key order.
+func (d *DB) Scan(start []byte, n int) ([]KV, error) {
+	return d.scan(start, nil, n)
+}
+
+// ScanRange returns up to limit live pairs with start <= key < end.
+// A nil end means no upper bound; limit <= 0 means no count bound (the scan
+// still ends at end). The result flows through the same cache paths as Scan.
+func (d *DB) ScanRange(start, end []byte, limit int) ([]KV, error) {
+	if limit <= 0 {
+		limit = int(^uint(0) >> 1) // unbounded count; end bounds the scan
+	}
+	return d.scan(start, end, limit)
+}
+
+func (d *DB) scan(start, end []byte, n int) ([]KV, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	// 1. Result cache. With an end bound the cached answer is complete only
+	// if it provably reaches end: contiguous entries cover [start, last],
+	// so an entry at or past end proves every live key in [start, end) is
+	// included.
+	if kvs, ok := d.strategy.ScanCached(start, n); ok {
+		if end == nil {
+			return kvs, nil
+		}
+		for i, kv := range kvs {
+			if bytes.Compare(kv.Key, end) >= 0 {
+				return kvs[:i], nil
+			}
+		}
+		// All cached entries fall below end: completeness unknown, fall
+		// through to the tree.
+	}
+
+	// As in Get, the read lock covers the scan and its admission so cache
+	// contents can never regress behind a concurrent write.
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	mem := d.mem
+	h := d.acquireVersion()
+	seq := d.lastSeq
+	defer d.releaseVersion(h)
+	version := h.v
+
+	var stats sstable.ReadStats
+	if quota, limited := d.strategy.ScanBlockFillQuota(n); limited {
+		stats.LimitScanFill = true
+		stats.ScanFillBudget = quota
+	}
+	iters := []internalIterator{mem.NewIter()}
+	for _, f := range version.Levels[0] {
+		if string(f.Largest.UserKey()) < string(start) {
+			continue
+		}
+		r, err := d.tc.get(f.FileNum)
+		if err != nil {
+			return nil, err
+		}
+		it, err := r.NewIter(&stats)
+		if err != nil {
+			return nil, err
+		}
+		iters = append(iters, it)
+	}
+	for level := 1; level < len(version.Levels); level++ {
+		files := version.Overlapping(level, start, nil)
+		if len(files) == 0 {
+			continue
+		}
+		iters = append(iters, newLevelIter(d.tc, files, &stats))
+	}
+
+	vi := newVisibleIter(newMergingIter(iters...), seq)
+	var out []KV
+	entries := make([]ScanEntry, 0, min(n, 1024))
+	for ok := vi.SeekGE(start); ok && len(out) < n; ok = vi.Next() {
+		if vi.Deleted() {
+			continue
+		}
+		if end != nil && bytes.Compare(vi.UserKey(), end) >= 0 {
+			break
+		}
+		k := append([]byte(nil), vi.UserKey()...)
+		v := append([]byte(nil), vi.Value()...)
+		out = append(out, KV{Key: k, Value: v})
+		entries = append(entries, ScanEntry{Key: k, Value: v})
+	}
+	if err := vi.Err(); err != nil {
+		return nil, err
+	}
+	d.queryBlockReads.Add(stats.BlockMisses)
+	d.queryBlockHits.Add(stats.BlockHits)
+	d.strategy.OnScanResult(start, entries, int(stats.BlockMisses))
+	return out, nil
+}
+
+// ShapeInfo is the lock-free subset of Metrics used by cache strategies to
+// parameterise the I/O-estimate model while running inside engine callbacks.
+type ShapeInfo struct {
+	NonEmptyLevels int
+	SortedRuns     int
+	L0Files        int
+	TotalEntries   uint64
+	TotalBytes     uint64
+}
+
+// ShapeInfo returns the latest tree-shape snapshot without locking.
+func (d *DB) ShapeInfo() ShapeInfo {
+	v, _ := d.shapeInfo.Load().(ShapeInfo)
+	return v
+}
+
+// QueryBlockReads reports cumulative SST block reads issued by Get/Scan —
+// the paper's "SST reads" metric (flush, compaction and recovery I/O are
+// excluded).
+func (d *DB) QueryBlockReads() int64 { return d.queryBlockReads.Load() }
+
+// QueryBlockHits reports cumulative block-cache hits on the query path.
+func (d *DB) QueryBlockHits() int64 { return d.queryBlockHits.Load() }
+
+// Flush forces the memtable to disk.
+func (d *DB) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.flushLocked()
+}
+
+// Compact forces compactions until the tree satisfies its shape invariants.
+func (d *DB) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.maybeCompactLocked()
+}
+
+// Close flushes state and closes the DB.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if err := d.log.Close(); err != nil {
+		return err
+	}
+	return d.saveManifest()
+}
+
+// IOStats returns cumulative file I/O counters; ReadOps equals the paper's
+// "SST reads" (one ReadAt per block).
+func (d *DB) IOStats() vfs.StatsSnapshot { return d.fs.Stats.Snapshot() }
+
+// Metrics summarises engine state for stats collection and tools.
+type Metrics struct {
+	LevelFiles         []int
+	LevelBytes         []uint64
+	L0Files            int
+	NonEmptyLevels     int
+	SortedRuns         int
+	TotalEntries       uint64
+	TotalBytes         uint64
+	MemTableEntries    int
+	MemTableBytes      int64
+	Flushes            int64
+	Compactions        int64
+	StallSlowdowns     int64
+	StallStops         int64
+	CompactedBytes     int64
+	CompactionOutBytes int64
+	FlushedBytes       int64
+	UserBytes          int64
+	LastSeq            uint64
+}
+
+// WriteAmplification reports total bytes written to SSTables (flush +
+// compaction outputs) per user byte, the standard LSM write-amplification
+// measure. Zero before any writes.
+func (m Metrics) WriteAmplification() float64 {
+	if m.UserBytes == 0 {
+		return 0
+	}
+	return float64(m.FlushedBytes+m.CompactionOutBytes) / float64(m.UserBytes)
+}
+
+// Metrics returns a point-in-time engine summary.
+func (d *DB) Metrics() Metrics {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	m := Metrics{
+		LevelFiles:         make([]int, len(d.version.Levels)),
+		LevelBytes:         make([]uint64, len(d.version.Levels)),
+		L0Files:            len(d.version.Levels[0]),
+		NonEmptyLevels:     d.version.NumNonEmptyLevels(),
+		SortedRuns:         d.version.NumSortedRuns(),
+		MemTableEntries:    d.mem.Count(),
+		MemTableBytes:      d.mem.ApproximateSize(),
+		Flushes:            d.flushes,
+		Compactions:        d.compactions,
+		StallSlowdowns:     d.stallSlowdowns,
+		StallStops:         d.stallStops,
+		CompactedBytes:     d.compactedBytes,
+		CompactionOutBytes: d.compactionOut,
+		FlushedBytes:       d.flushedBytes,
+		UserBytes:          d.userBytes,
+		LastSeq:            d.lastSeq,
+	}
+	for i, level := range d.version.Levels {
+		m.LevelFiles[i] = len(level)
+		m.LevelBytes[i] = d.version.SizeOfLevel(i)
+		for _, f := range level {
+			m.TotalEntries += f.NumEntries
+			m.TotalBytes += f.Size
+		}
+	}
+	return m
+}
+
+// Options returns the effective options the DB runs with.
+func (d *DB) Options() Options { return d.opts }
+
+func (d *DB) String() string {
+	m := d.Metrics()
+	return fmt.Sprintf("lsm.DB{levels=%v runs=%d entries=%d bytes=%d}",
+		m.LevelFiles, m.SortedRuns, m.TotalEntries, m.TotalBytes)
+}
+
+// pickerConfig adapts Options to the compaction picker.
+func (d *DB) pickerConfig() compaction.Config {
+	return compaction.Config{
+		L0Trigger:    d.opts.L0CompactTrigger,
+		L1TargetSize: d.opts.L1TargetSize,
+		SizeRatio:    d.opts.LevelSizeRatio,
+		NumLevels:    d.opts.NumLevels,
+	}
+}

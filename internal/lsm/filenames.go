@@ -1,0 +1,34 @@
+package lsm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+func sstPath(dir string, fileNum uint64) string {
+	return fmt.Sprintf("%s/%06d.sst", dir, fileNum)
+}
+
+func walPath(dir string, walNum uint64) string {
+	return fmt.Sprintf("%s/%06d.log", dir, walNum)
+}
+
+// parseFileName recognises the engine's file names. typ is "sst", "log" or
+// "" for unknown names.
+func parseFileName(name string) (typ string, num uint64) {
+	switch {
+	case strings.HasSuffix(name, ".sst"):
+		typ = "sst"
+	case strings.HasSuffix(name, ".log"):
+		typ = "log"
+	default:
+		return "", 0
+	}
+	base := name[:len(name)-4]
+	n, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return "", 0
+	}
+	return typ, n
+}

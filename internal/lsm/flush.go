@@ -1,0 +1,73 @@
+package lsm
+
+import (
+	"adcache/internal/keys"
+	"adcache/internal/manifest"
+	"adcache/internal/memtable"
+	"adcache/internal/sstable"
+)
+
+// flushLocked writes the memtable to a new L0 table and rotates the WAL.
+// Flush and any triggered compactions run inline on the writer's goroutine,
+// which is how the L0 slowdown/stop triggers manifest as write stalls.
+// Caller holds d.mu.
+func (d *DB) flushLocked() error {
+	if d.mem.Empty() {
+		return nil
+	}
+	meta, fileNum, err := d.writeMemTable(d.mem)
+	if err != nil {
+		return err
+	}
+	nv := d.version.Clone()
+	// L0 is ordered newest-first.
+	nv.Levels[0] = append([]*manifest.FileMeta{meta}, nv.Levels[0]...)
+	d.installVersion(nv, nil)
+	d.flushes++
+	d.flushedBytes += int64(meta.Size)
+	d.mem = memtable.New(d.nextMemSeed())
+	if err := d.rotateWAL(); err != nil {
+		return err
+	}
+	_ = fileNum
+	if !d.opts.DisableAutoCompaction {
+		return d.maybeCompactLocked()
+	}
+	return nil
+}
+
+// writeMemTable persists mem as an sstable and returns its metadata.
+func (d *DB) writeMemTable(mem *memtable.MemTable) (*manifest.FileMeta, uint64, error) {
+	fileNum := d.nextFileNum
+	d.nextFileNum++
+	f, err := d.fs.Create(sstPath(d.opts.Dir, fileNum))
+	if err != nil {
+		return nil, 0, err
+	}
+	w := sstable.NewWriter(f, sstable.WriterOptions{
+		BlockSize:  d.opts.BlockSize,
+		BitsPerKey: d.opts.BitsPerKey,
+	})
+	it := mem.NewIter()
+	for ok := it.First(); ok; ok = it.Next() {
+		if err := w.Add(it.Key(), it.Value()); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+	}
+	meta, err := w.Finish()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, 0, err
+	}
+	return &manifest.FileMeta{
+		FileNum:    fileNum,
+		Size:       meta.Size,
+		NumEntries: meta.NumEntries,
+		Smallest:   append(keys.InternalKey(nil), meta.Smallest...),
+		Largest:    append(keys.InternalKey(nil), meta.Largest...),
+	}, fileNum, nil
+}

@@ -1,0 +1,293 @@
+package lsm
+
+import (
+	"bytes"
+	"container/heap"
+
+	"adcache/internal/keys"
+	"adcache/internal/manifest"
+	"adcache/internal/sstable"
+)
+
+// internalIterator is the common shape of memtable, sstable and level
+// iterators.
+type internalIterator interface {
+	First() bool
+	Seek(target keys.InternalKey) bool
+	Next() bool
+	Valid() bool
+	Key() keys.InternalKey
+	Value() []byte
+	Err() error
+}
+
+// levelIter iterates one non-overlapping level (L1+), opening file iterators
+// lazily as the scan crosses file boundaries.
+type levelIter struct {
+	tc    *tableCache
+	files []*manifest.FileMeta
+	stats *sstable.ReadStats
+
+	idx  int // current file index
+	iter *sstable.Iter
+	err  error
+}
+
+func newLevelIter(tc *tableCache, files []*manifest.FileMeta, stats *sstable.ReadStats) *levelIter {
+	return &levelIter{tc: tc, files: files, stats: stats, idx: -1}
+}
+
+func (l *levelIter) openFile(idx int) bool {
+	l.idx = idx
+	l.iter = nil
+	if idx >= len(l.files) {
+		return false
+	}
+	r, err := l.tc.get(l.files[idx].FileNum)
+	if err != nil {
+		l.err = err
+		return false
+	}
+	it, err := r.NewIter(l.stats)
+	if err != nil {
+		l.err = err
+		return false
+	}
+	l.iter = it
+	return true
+}
+
+func (l *levelIter) First() bool {
+	if !l.openFile(0) {
+		return false
+	}
+	if l.iter.First() {
+		return true
+	}
+	return l.Next()
+}
+
+func (l *levelIter) Seek(target keys.InternalKey) bool {
+	// Binary search for the first file whose largest key >= target.
+	lo, hi := 0, len(l.files)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys.Compare(l.files[mid].Largest, target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if !l.openFile(lo) {
+		return false
+	}
+	if l.iter.Seek(target) {
+		return true
+	}
+	return l.Next()
+}
+
+func (l *levelIter) Next() bool {
+	if l.err != nil {
+		return false
+	}
+	if l.iter != nil && l.iter.Next() {
+		return true
+	}
+	for {
+		if !l.openFile(l.idx + 1) {
+			return false
+		}
+		if l.iter.First() {
+			return true
+		}
+		if l.err != nil || l.iter.Err() != nil {
+			return false
+		}
+	}
+}
+
+func (l *levelIter) Valid() bool { return l.iter != nil && l.iter.Valid() }
+
+func (l *levelIter) Key() keys.InternalKey { return l.iter.Key() }
+
+func (l *levelIter) Value() []byte { return l.iter.Value() }
+
+func (l *levelIter) Err() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.iter != nil {
+		return l.iter.Err()
+	}
+	return nil
+}
+
+// mergingIter merges several internalIterators into one stream ordered by
+// internal key. Internal keys are globally unique (sequence numbers are
+// unique), so no tie-breaking across sources is needed.
+type mergingIter struct {
+	iters []internalIterator
+	h     iterHeap
+	init  bool
+}
+
+type iterHeap []internalIterator
+
+func (h iterHeap) Len() int { return len(h) }
+func (h iterHeap) Less(i, j int) bool {
+	return keys.Compare(h[i].Key(), h[j].Key()) < 0
+}
+func (h iterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x any)   { *h = append(*h, x.(internalIterator)) }
+func (h *iterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func newMergingIter(iters ...internalIterator) *mergingIter {
+	return &mergingIter{iters: iters}
+}
+
+func (m *mergingIter) reset(position func(internalIterator) bool) bool {
+	m.h = m.h[:0]
+	for _, it := range m.iters {
+		if position(it) {
+			m.h = append(m.h, it)
+		}
+	}
+	heap.Init(&m.h)
+	m.init = true
+	return len(m.h) > 0
+}
+
+func (m *mergingIter) First() bool {
+	return m.reset(func(it internalIterator) bool { return it.First() })
+}
+
+func (m *mergingIter) Seek(target keys.InternalKey) bool {
+	return m.reset(func(it internalIterator) bool { return it.Seek(target) })
+}
+
+func (m *mergingIter) Next() bool {
+	if !m.init || len(m.h) == 0 {
+		return false
+	}
+	top := m.h[0]
+	if top.Next() {
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return len(m.h) > 0
+}
+
+func (m *mergingIter) Valid() bool { return m.init && len(m.h) > 0 }
+
+func (m *mergingIter) Key() keys.InternalKey { return m.h[0].Key() }
+
+func (m *mergingIter) Value() []byte { return m.h[0].Value() }
+
+func (m *mergingIter) Err() error {
+	for _, it := range m.iters {
+		if err := it.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// visibleIter filters a merged internal stream down to the newest visible
+// version of each user key at snapshot seq, skipping shadowed versions.
+// Tombstones are surfaced (Deleted()=true) so callers can skip dead keys.
+type visibleIter struct {
+	it      internalIterator
+	seq     uint64
+	userKey []byte
+	value   []byte
+	deleted bool
+	valid   bool
+}
+
+func newVisibleIter(it internalIterator, seq uint64) *visibleIter {
+	return &visibleIter{it: it, seq: seq}
+}
+
+// SeekGE positions at the newest visible version of the first user key
+// >= target.
+func (v *visibleIter) SeekGE(target []byte) bool {
+	if !v.it.Seek(keys.MakeSearch(target, v.seq)) {
+		v.valid = false
+		return false
+	}
+	return v.settle()
+}
+
+// First positions at the first user key.
+func (v *visibleIter) First() bool {
+	if !v.it.First() {
+		v.valid = false
+		return false
+	}
+	return v.settle()
+}
+
+// settle finds the newest visible version at or after the current position.
+func (v *visibleIter) settle() bool {
+	for {
+		if !v.it.Valid() {
+			v.valid = false
+			return false
+		}
+		ik := v.it.Key()
+		if ik.Seq() > v.seq {
+			// Invisible (newer than snapshot): skip this version.
+			if !v.it.Next() {
+				v.valid = false
+				return false
+			}
+			continue
+		}
+		v.userKey = append(v.userKey[:0], ik.UserKey()...)
+		v.value = v.it.Value()
+		v.deleted = ik.Kind() == keys.KindDelete
+		v.valid = true
+		return true
+	}
+}
+
+// Next advances to the next distinct user key.
+func (v *visibleIter) Next() bool {
+	if !v.valid {
+		return false
+	}
+	// Skip remaining (older) versions of the current user key.
+	for {
+		if !v.it.Next() {
+			v.valid = false
+			return false
+		}
+		if !bytes.Equal(v.it.Key().UserKey(), v.userKey) {
+			break
+		}
+	}
+	return v.settle()
+}
+
+// Valid reports whether positioned at an entry.
+func (v *visibleIter) Valid() bool { return v.valid }
+
+// UserKey returns the current user key (stable until next move).
+func (v *visibleIter) UserKey() []byte { return v.userKey }
+
+// Value returns the current value.
+func (v *visibleIter) Value() []byte { return v.value }
+
+// Deleted reports whether the current entry is a tombstone.
+func (v *visibleIter) Deleted() bool { return v.deleted }
+
+// Err propagates the underlying iterator error.
+func (v *visibleIter) Err() error { return v.it.Err() }

@@ -1,0 +1,90 @@
+package lsm
+
+import "adcache/internal/sstable"
+
+// KV is a key-value pair returned by scans and exchanged with cache
+// strategies.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// ScanEntry is one element of a scan result as reported to the strategy,
+// carrying contiguity context the range cache needs.
+type ScanEntry struct {
+	Key   []byte
+	Value []byte
+}
+
+// CacheStrategy is the integration point between the engine and a caching
+// scheme, realising the paper's query-handling and cache-fill paths
+// (Figure 5). All methods must be safe for concurrent use.
+//
+// Query handling: the DB consults GetCached/ScanCached before probing the
+// MemTable; SSTable block reads flow through BlockCache(). Cache fill: after
+// a disk-served query the DB reports the result via OnPointResult /
+// OnScanResult so the strategy can admit it. Writes are reported via OnWrite
+// so result caches stay coherent.
+type CacheStrategy interface {
+	// GetCached returns a cached value for key. found distinguishes a
+	// cached "key absent" answer (ok=true, found=false) from a cache miss
+	// (ok=false).
+	GetCached(key []byte) (value []byte, found, ok bool)
+
+	// ScanCached returns the first n pairs starting at start if the cache
+	// can prove it has the full contiguous prefix; ok=false otherwise.
+	ScanCached(start []byte, n int) ([]KV, bool)
+
+	// OnPointResult reports a completed point lookup that the cache did not
+	// serve. value is nil when the key does not exist; blockReads is the
+	// number of SST blocks fetched from disk for this lookup.
+	OnPointResult(key, value []byte, blockReads int)
+
+	// OnScanResult reports a completed scan of the given result entries.
+	// blockReads is the number of SST blocks fetched from disk.
+	OnScanResult(start []byte, entries []ScanEntry, blockReads int)
+
+	// OnWrite reports a Put (deleted=false) or Delete (deleted=true) so
+	// result caches can update or invalidate.
+	OnWrite(key, value []byte, deleted bool)
+
+	// BlockCache returns the block cache SSTable readers should use, or nil.
+	BlockCache() sstable.BlockCache
+
+	// ScanBlockFillQuota bounds how many blocks a scan of scanLen keys may
+	// insert into the block cache (§3.4: partial admission "can also be
+	// applied to the block cache"). limited=false means unlimited.
+	ScanBlockFillQuota(scanLen int) (quota int64, limited bool)
+
+	// OnCompaction reports that a compaction replaced oldFiles with
+	// newFiles, letting strategies account invalidation.
+	OnCompaction(oldFiles, newFiles []uint64)
+}
+
+// NoCache is a CacheStrategy that caches nothing; it yields the engine's
+// uncached baseline.
+type NoCache struct{}
+
+// GetCached implements CacheStrategy.
+func (NoCache) GetCached([]byte) ([]byte, bool, bool) { return nil, false, false }
+
+// ScanCached implements CacheStrategy.
+func (NoCache) ScanCached([]byte, int) ([]KV, bool) { return nil, false }
+
+// OnPointResult implements CacheStrategy.
+func (NoCache) OnPointResult([]byte, []byte, int) {}
+
+// OnScanResult implements CacheStrategy.
+func (NoCache) OnScanResult([]byte, []ScanEntry, int) {}
+
+// OnWrite implements CacheStrategy.
+func (NoCache) OnWrite([]byte, []byte, bool) {}
+
+// BlockCache implements CacheStrategy.
+func (NoCache) BlockCache() sstable.BlockCache { return nil }
+
+// ScanBlockFillQuota implements CacheStrategy.
+func (NoCache) ScanBlockFillQuota(int) (int64, bool) { return 0, false }
+
+// OnCompaction implements CacheStrategy.
+func (NoCache) OnCompaction([]uint64, []uint64) {}

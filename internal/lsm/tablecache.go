@@ -1,0 +1,56 @@
+package lsm
+
+import (
+	"sync"
+
+	"adcache/internal/sstable"
+	"adcache/internal/vfs"
+)
+
+// tableCache keeps sstable readers open for the DB's lifetime, evicting them
+// when their files are deleted by compaction. Index and filter blocks stay
+// pinned with the reader, matching RocksDB's default behaviour.
+type tableCache struct {
+	fs    vfs.FS
+	dir   string
+	cache sstable.BlockCache // shared by all readers; may be nil
+
+	mu      sync.RWMutex
+	readers map[uint64]*sstable.Reader
+}
+
+func newTableCache(fs vfs.FS, dir string, cache sstable.BlockCache) *tableCache {
+	return &tableCache{fs: fs, dir: dir, cache: cache, readers: make(map[uint64]*sstable.Reader)}
+}
+
+// get returns the reader for fileNum, opening it on first use.
+func (tc *tableCache) get(fileNum uint64) (*sstable.Reader, error) {
+	tc.mu.RLock()
+	r, ok := tc.readers[fileNum]
+	tc.mu.RUnlock()
+	if ok {
+		return r, nil
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if r, ok := tc.readers[fileNum]; ok {
+		return r, nil
+	}
+	f, err := tc.fs.Open(sstPath(tc.dir, fileNum))
+	if err != nil {
+		return nil, err
+	}
+	r, err = sstable.NewReader(f, sstable.ReaderOptions{Cache: tc.cache, FileNum: fileNum})
+	if err != nil {
+		return nil, err
+	}
+	tc.readers[fileNum] = r
+	return r, nil
+}
+
+// evict drops the reader for a deleted file.
+func (tc *tableCache) evict(fileNum uint64) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	delete(tc.readers, fileNum)
+}

@@ -1,0 +1,251 @@
+// Package manifest tracks the LSM tree's file-level metadata: which
+// SSTables live at which level, the next file number, and the last committed
+// sequence number.
+//
+// Persistence uses snapshot manifests: the full state is serialised to a
+// temporary file and atomically renamed over MANIFEST. At this engine's
+// scale a snapshot per version change is cheaper and simpler than a
+// version-edit log, and the atomic rename gives the same crash-consistency
+// guarantee.
+package manifest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"adcache/internal/keys"
+	"adcache/internal/vfs"
+)
+
+// FileMeta describes one SSTable.
+type FileMeta struct {
+	FileNum    uint64
+	Size       uint64
+	NumEntries uint64
+	Smallest   keys.InternalKey
+	Largest    keys.InternalKey
+}
+
+// OverlapsUser reports whether the file's user-key range intersects
+// [lo, hi]. A nil hi means +infinity.
+func (f *FileMeta) OverlapsUser(lo, hi []byte) bool {
+	if hi != nil && bytes.Compare(f.Smallest.UserKey(), hi) > 0 {
+		return false
+	}
+	if lo != nil && bytes.Compare(f.Largest.UserKey(), lo) < 0 {
+		return false
+	}
+	return true
+}
+
+// ContainsUser reports whether userKey falls within the file's range.
+func (f *FileMeta) ContainsUser(userKey []byte) bool {
+	return bytes.Compare(f.Smallest.UserKey(), userKey) <= 0 &&
+		bytes.Compare(userKey, f.Largest.UserKey()) <= 0
+}
+
+// Version is an immutable snapshot of the tree's file layout.
+// Levels[0] may contain overlapping files ordered newest-first; deeper
+// levels hold non-overlapping files sorted by smallest key.
+type Version struct {
+	Levels [][]*FileMeta
+}
+
+// NewVersion returns an empty version with numLevels levels.
+func NewVersion(numLevels int) *Version {
+	return &Version{Levels: make([][]*FileMeta, numLevels)}
+}
+
+// Clone deep-copies the level structure (FileMeta values are shared; they
+// are immutable once created).
+func (v *Version) Clone() *Version {
+	nv := NewVersion(len(v.Levels))
+	for i, level := range v.Levels {
+		nv.Levels[i] = append([]*FileMeta(nil), level...)
+	}
+	return nv
+}
+
+// NumFiles reports the total file count.
+func (v *Version) NumFiles() int {
+	n := 0
+	for _, level := range v.Levels {
+		n += len(level)
+	}
+	return n
+}
+
+// SizeOfLevel reports the byte size of one level.
+func (v *Version) SizeOfLevel(level int) uint64 {
+	var total uint64
+	for _, f := range v.Levels[level] {
+		total += f.Size
+	}
+	return total
+}
+
+// TotalSize reports the byte size of all levels.
+func (v *Version) TotalSize() uint64 {
+	var total uint64
+	for i := range v.Levels {
+		total += v.SizeOfLevel(i)
+	}
+	return total
+}
+
+// NumSortedRuns reports the number of sorted runs: each L0 file is its own
+// run, each non-empty deeper level is one run. This feeds the paper's
+// IO_estimate model.
+func (v *Version) NumSortedRuns() int {
+	runs := len(v.Levels[0])
+	for _, level := range v.Levels[1:] {
+		if len(level) > 0 {
+			runs++
+		}
+	}
+	return runs
+}
+
+// NumNonEmptyLevels reports L, the number of levels holding data.
+func (v *Version) NumNonEmptyLevels() int {
+	n := 0
+	for _, level := range v.Levels {
+		if len(level) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Overlapping returns the files in level whose user-key ranges intersect
+// [lo, hi] (hi nil = +inf), in level order.
+func (v *Version) Overlapping(level int, lo, hi []byte) []*FileMeta {
+	var out []*FileMeta
+	for _, f := range v.Levels[level] {
+		if f.OverlapsUser(lo, hi) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// State is everything the manifest persists.
+type State struct {
+	NextFileNum uint64
+	LastSeq     uint64
+	WALNum      uint64
+	Version     *Version
+}
+
+type fileMetaJSON struct {
+	FileNum    uint64 `json:"file_num"`
+	Size       uint64 `json:"size"`
+	NumEntries uint64 `json:"num_entries"`
+	Smallest   []byte `json:"smallest"`
+	Largest    []byte `json:"largest"`
+}
+
+type stateJSON struct {
+	NextFileNum uint64           `json:"next_file_num"`
+	LastSeq     uint64           `json:"last_seq"`
+	WALNum      uint64           `json:"wal_num"`
+	Levels      [][]fileMetaJSON `json:"levels"`
+}
+
+// Store saves and loads manifest state under a directory.
+type Store struct {
+	mu  sync.Mutex
+	fs  vfs.FS
+	dir string
+}
+
+// NewStore returns a Store for dir on fs.
+func NewStore(fs vfs.FS, dir string) *Store { return &Store{fs: fs, dir: dir} }
+
+// Path returns the manifest file path.
+func (s *Store) Path() string { return s.dir + "/MANIFEST" }
+
+// Save atomically persists st.
+func (s *Store) Save(st State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js := stateJSON{
+		NextFileNum: st.NextFileNum,
+		LastSeq:     st.LastSeq,
+		WALNum:      st.WALNum,
+		Levels:      make([][]fileMetaJSON, len(st.Version.Levels)),
+	}
+	for i, level := range st.Version.Levels {
+		js.Levels[i] = make([]fileMetaJSON, len(level))
+		for j, f := range level {
+			js.Levels[i][j] = fileMetaJSON{
+				FileNum: f.FileNum, Size: f.Size, NumEntries: f.NumEntries,
+				Smallest: f.Smallest, Largest: f.Largest,
+			}
+		}
+	}
+	data, err := json.Marshal(js)
+	if err != nil {
+		return err
+	}
+	tmp := s.Path() + ".tmp"
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.fs.Rename(tmp, s.Path())
+}
+
+// Load reads the persisted state. ok is false when no manifest exists.
+func (s *Store) Load() (State, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.fs.Exists(s.Path()) {
+		return State{}, false, nil
+	}
+	f, err := s.fs.Open(s.Path())
+	if err != nil {
+		return State{}, false, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return State{}, false, err
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return State{}, false, err
+	}
+	var js stateJSON
+	if err := json.Unmarshal(data, &js); err != nil {
+		return State{}, false, fmt.Errorf("manifest: corrupt: %w", err)
+	}
+	st := State{
+		NextFileNum: js.NextFileNum,
+		LastSeq:     js.LastSeq,
+		WALNum:      js.WALNum,
+		Version:     NewVersion(len(js.Levels)),
+	}
+	for i, level := range js.Levels {
+		for _, fm := range level {
+			st.Version.Levels[i] = append(st.Version.Levels[i], &FileMeta{
+				FileNum: fm.FileNum, Size: fm.Size, NumEntries: fm.NumEntries,
+				Smallest: fm.Smallest, Largest: fm.Largest,
+			})
+		}
+	}
+	return st, true, nil
+}

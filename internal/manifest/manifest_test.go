@@ -1,0 +1,151 @@
+package manifest
+
+import (
+	"fmt"
+	"testing"
+
+	"adcache/internal/keys"
+	"adcache/internal/vfs"
+)
+
+func fm(num uint64, lo, hi string) *FileMeta {
+	return &FileMeta{
+		FileNum:  num,
+		Size:     100,
+		Smallest: keys.Make([]byte(lo), 1, keys.KindSet),
+		Largest:  keys.Make([]byte(hi), 1, keys.KindSet),
+	}
+}
+
+func TestOverlapsAndContains(t *testing.T) {
+	f := fm(1, "c", "g")
+	cases := []struct {
+		lo, hi string
+		want   bool
+	}{
+		{"a", "b", false},
+		{"a", "c", true},
+		{"d", "e", true},
+		{"g", "z", true},
+		{"h", "z", false},
+	}
+	for _, c := range cases {
+		if got := f.OverlapsUser([]byte(c.lo), []byte(c.hi)); got != c.want {
+			t.Fatalf("Overlaps(%q,%q) = %v", c.lo, c.hi, got)
+		}
+	}
+	// Open-ended ranges.
+	if !f.OverlapsUser([]byte("a"), nil) {
+		t.Fatal("nil hi must mean +inf")
+	}
+	if f.OverlapsUser([]byte("z"), nil) {
+		t.Fatal("range after file must not overlap")
+	}
+	if !f.ContainsUser([]byte("c")) || !f.ContainsUser([]byte("g")) || f.ContainsUser([]byte("b")) {
+		t.Fatal("ContainsUser boundaries wrong")
+	}
+}
+
+func TestVersionAccounting(t *testing.T) {
+	v := NewVersion(4)
+	v.Levels[0] = []*FileMeta{fm(1, "a", "c"), fm(2, "b", "d")}
+	v.Levels[1] = []*FileMeta{fm(3, "a", "m"), fm(4, "n", "z")}
+	v.Levels[2] = []*FileMeta{fm(5, "a", "z")}
+
+	if v.NumFiles() != 5 {
+		t.Fatalf("NumFiles = %d", v.NumFiles())
+	}
+	// Runs: 2 L0 files + 2 non-empty deeper levels.
+	if v.NumSortedRuns() != 4 {
+		t.Fatalf("NumSortedRuns = %d", v.NumSortedRuns())
+	}
+	if v.NumNonEmptyLevels() != 3 {
+		t.Fatalf("NumNonEmptyLevels = %d", v.NumNonEmptyLevels())
+	}
+	if v.SizeOfLevel(1) != 200 {
+		t.Fatalf("SizeOfLevel(1) = %d", v.SizeOfLevel(1))
+	}
+	if v.TotalSize() != 500 {
+		t.Fatalf("TotalSize = %d", v.TotalSize())
+	}
+	over := v.Overlapping(1, []byte("p"), nil)
+	if len(over) != 1 || over[0].FileNum != 4 {
+		t.Fatalf("Overlapping = %v", over)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	v := NewVersion(2)
+	v.Levels[0] = []*FileMeta{fm(1, "a", "b")}
+	c := v.Clone()
+	c.Levels[0] = append(c.Levels[0], fm(2, "c", "d"))
+	if len(v.Levels[0]) != 1 {
+		t.Fatal("Clone shares level slices")
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("db")
+	store := NewStore(fs, "db")
+
+	if _, found, err := store.Load(); err != nil || found {
+		t.Fatalf("initial Load: found=%v err=%v", found, err)
+	}
+
+	v := NewVersion(7)
+	for i := 0; i < 3; i++ {
+		v.Levels[1] = append(v.Levels[1], fm(uint64(i+10), fmt.Sprintf("k%d0", i), fmt.Sprintf("k%d9", i)))
+	}
+	st := State{NextFileNum: 42, LastSeq: 999, WALNum: 13, Version: v}
+	if err := store.Save(st); err != nil {
+		t.Fatal(err)
+	}
+
+	got, found, err := store.Load()
+	if err != nil || !found {
+		t.Fatalf("Load: found=%v err=%v", found, err)
+	}
+	if got.NextFileNum != 42 || got.LastSeq != 999 || got.WALNum != 13 {
+		t.Fatalf("scalar state = %+v", got)
+	}
+	if len(got.Version.Levels) != 7 || len(got.Version.Levels[1]) != 3 {
+		t.Fatalf("levels = %v", got.Version.Levels)
+	}
+	f := got.Version.Levels[1][0]
+	if f.FileNum != 10 || string(f.Smallest.UserKey()) != "k00" {
+		t.Fatalf("file meta = %+v", f)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("db")
+	store := NewStore(fs, "db")
+	v := NewVersion(2)
+	store.Save(State{NextFileNum: 1, Version: v})
+	v2 := NewVersion(2)
+	v2.Levels[0] = []*FileMeta{fm(5, "a", "b")}
+	store.Save(State{NextFileNum: 2, Version: v2})
+	got, _, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextFileNum != 2 || len(got.Version.Levels[0]) != 1 {
+		t.Fatalf("second save not visible: %+v", got)
+	}
+	if fs.Exists("db/MANIFEST.tmp") {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestCorruptManifestRejected(t *testing.T) {
+	fs := vfs.NewMem()
+	fs.MkdirAll("db")
+	f, _ := fs.Create("db/MANIFEST")
+	f.Write([]byte("{not json"))
+	store := NewStore(fs, "db")
+	if _, _, err := store.Load(); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}

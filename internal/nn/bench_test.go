@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The paper-sized networks: these benchmarks back the §4.2 claim that a
+// control step is negligible against a 1000-operation window.
+func paperMLP() *MLP {
+	return NewMLP([]int{12, 256, 256, 4}, ReLU, Sigmoid, rand.New(rand.NewSource(1)))
+}
+
+func BenchmarkForward(b *testing.B) {
+	m := paperMLP()
+	x := make([]float32, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+func BenchmarkBackward(b *testing.B) {
+	m := paperMLP()
+	m.Forward(make([]float32, 12))
+	grad := []float32{1, 0, 0, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Backward(grad)
+	}
+}
+
+func BenchmarkStepAdam(b *testing.B) {
+	m := paperMLP()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.StepAdam(1e-3)
+	}
+}
+
+// BenchmarkControlStep measures a full window's training work: two critic
+// forwards, critic backward+Adam, actor forward, actor backward+Adam.
+func BenchmarkControlStep(b *testing.B) {
+	actor := paperMLP()
+	critic := NewMLP([]int{12, 256, 256, 1}, ReLU, Linear, rand.New(rand.NewSource(2)))
+	x := make([]float32, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		critic.Forward(x)
+		critic.Forward(x)
+		critic.Backward([]float32{0.1})
+		critic.StepAdam(1e-3)
+		actor.Forward(x)
+		actor.Backward([]float32{0.01, 0.01, 0.01, 0.01})
+		actor.StepAdam(1e-3)
+	}
+}

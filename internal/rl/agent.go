@@ -1,0 +1,312 @@
+// Package rl implements AdCache's Policy Decision Controller: a lightweight
+// actor-critic agent over a continuous, low-dimensional action space
+// (§3.5). The actor is a 2×256 MLP emitting sigmoid-bounded action means;
+// exploration adds Gaussian noise; the critic is a value baseline. Rewards
+// arrive pre-computed by the caller (the smoothed relative change of the
+// estimated hit rate), and the actor's learning rate adapts as
+// lr ← lr·(1 − reward), growing after workload shifts and decaying during
+// stable phases.
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"adcache/internal/nn"
+	"adcache/internal/vfs"
+)
+
+// Dimensions of the control problem.
+const (
+	// StateDim is the workload/cache feature vector length.
+	StateDim = 12
+	// ActionDim covers: range-cache ratio, point admission threshold,
+	// scan partial-admission a (normalised), scan partial-admission b.
+	ActionDim = 4
+	// HiddenDim matches the paper's 256-unit hidden layers.
+	HiddenDim = 256
+)
+
+// Action is the decoded controller output, all components in [0, 1].
+type Action struct {
+	// RangeRatio is the fraction of the memory budget given to the range
+	// cache (the rest goes to the block cache).
+	RangeRatio float64
+	// PointThreshold is the normalised frequency-score threshold for point
+	// admission (scaled by the strategy).
+	PointThreshold float64
+	// ScanA is the full-admission length threshold, normalised to [0,1] of
+	// the strategy's maximum scan length.
+	ScanA float64
+	// ScanB is the partial-admission aggressiveness b.
+	ScanB float64
+}
+
+func (a Action) vector() []float32 {
+	return []float32{
+		float32(a.RangeRatio), float32(a.PointThreshold),
+		float32(a.ScanA), float32(a.ScanB),
+	}
+}
+
+func actionFrom(v []float32) Action {
+	return Action{
+		RangeRatio:     float64(v[0]),
+		PointThreshold: float64(v[1]),
+		ScanA:          float64(v[2]),
+		ScanB:          float64(v[3]),
+	}
+}
+
+// Config tunes the agent.
+type Config struct {
+	// ActorLR and CriticLR are initial learning rates (paper: 1e-3 both).
+	ActorLR  float64
+	CriticLR float64
+	// Gamma is the discount factor.
+	Gamma float64
+	// ExploreStd is the Gaussian exploration noise applied to action means.
+	ExploreStd float64
+	// RatioExploreStd overrides the noise on the range-ratio action alone:
+	// boundary moves evict cache entries, so jitter there is costlier than
+	// on admission thresholds (defaults to ExploreStd/2).
+	RatioExploreStd float64
+	// Seed drives weight init and exploration noise.
+	Seed int64
+	// Frozen disables learning (pretrained-only deployment).
+	Frozen bool
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{ActorLR: 1e-3, CriticLR: 1e-3, Gamma: 0.9, ExploreStd: 0.08, Seed: 1}
+}
+
+// Agent is the actor-critic controller. Not safe for concurrent use; the
+// background tuning goroutine owns it.
+type Agent struct {
+	cfg    Config
+	actor  *nn.MLP
+	critic *nn.MLP
+	rng    *rand.Rand
+
+	actorLR float64
+
+	havePrev   bool
+	prevState  []float32
+	prevAction []float32
+
+	steps int64
+}
+
+// New returns an agent with freshly initialised networks.
+func New(cfg Config) *Agent {
+	if cfg.ActorLR <= 0 {
+		cfg.ActorLR = 1e-3
+	}
+	if cfg.CriticLR <= 0 {
+		cfg.CriticLR = 1e-3
+	}
+	if cfg.Gamma <= 0 {
+		cfg.Gamma = 0.9
+	}
+	if cfg.ExploreStd <= 0 {
+		cfg.ExploreStd = 0.08
+	}
+	if cfg.RatioExploreStd <= 0 {
+		cfg.RatioExploreStd = cfg.ExploreStd / 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Agent{
+		cfg:     cfg,
+		actor:   nn.NewMLP([]int{StateDim, HiddenDim, HiddenDim, ActionDim}, nn.ReLU, nn.Sigmoid, rng),
+		critic:  nn.NewMLP([]int{StateDim, HiddenDim, HiddenDim, 1}, nn.ReLU, nn.Linear, rng),
+		rng:     rng,
+		actorLR: cfg.ActorLR,
+	}
+}
+
+// noiseStd returns the exploration standard deviation for action dim i.
+func (a *Agent) noiseStd(i int) float64 {
+	if i == 0 {
+		return a.cfg.RatioExploreStd
+	}
+	return a.cfg.ExploreStd
+}
+
+// Act returns the action for state, including exploration noise unless the
+// agent is frozen. It records the (state, action) pair for the next Update.
+func (a *Agent) Act(state []float32) Action {
+	mu := a.actor.Forward(state)
+	act := make([]float32, ActionDim)
+	for i := range act {
+		v := float64(mu[i])
+		if !a.cfg.Frozen {
+			v += a.rng.NormFloat64() * a.noiseStd(i)
+		}
+		act[i] = float32(clamp01(v))
+	}
+	a.prevState = append(a.prevState[:0], state...)
+	a.prevAction = append(a.prevAction[:0], act...)
+	a.havePrev = true
+	return actionFrom(act)
+}
+
+// Update performs one actor-critic step. reward is the return signal for
+// the previous action — the smoothed estimated hit rate, so the critic
+// learns the discounted long-term hit rate the paper says the agent
+// optimises. lrDelta is the paper's §3.5 relative hit-rate change
+// Δh_smoothed/h_smoothed, which drives only the adaptive learning rate
+// (lr ← lr·(1 − lrDelta)): negative after a workload shift → more
+// exploration; positive when stable → convergence. newState is the state
+// that followed the action.
+//
+// (Deviation note, recorded in DESIGN.md: the paper feeds Δh/h as the RL
+// reward itself. That signal telescopes to ≈ log-growth of the hit rate and
+// carries almost no gradient at steady state, which is workable over the
+// paper's 50M-op phases but not at this reproduction's scale; using the
+// smoothed hit-rate level as the critic target preserves the optimisation
+// objective — long-term hit rate — while converging within hundreds of
+// windows.)
+func (a *Agent) Update(reward, lrDelta float64, newState []float32) {
+	if a.cfg.Frozen || !a.havePrev {
+		return
+	}
+	a.steps++
+
+	// Adaptive learning rate (§3.5), exactly as published.
+	a.actorLR *= 1 - lrDelta
+	a.actorLR = clampF(a.actorLR, 1e-5, 1e-2)
+
+	// Critic: TD(0) toward r + γV(s').
+	vNext := float64(a.critic.Forward(newState)[0])
+	target := reward + a.cfg.Gamma*vNext
+	vPrev := float64(a.critic.Forward(a.prevState)[0])
+	tdErr := target - vPrev // advantage estimate
+	// dLoss/dV = V − target  (squared error).
+	a.critic.Backward([]float32{float32(vPrev - target)})
+	a.critic.StepAdam(a.cfg.CriticLR)
+
+	// Actor: Gaussian policy gradient on the means.
+	// logπ(a|s) = −(a−μ)²/2σ²; ∂logπ/∂μ = (a−μ)/σ².
+	// Ascend advantage·logπ → descend loss with dL/dμ = −A·(a−μ)/σ².
+	mu := a.actor.Forward(a.prevState)
+	grad := make([]float32, ActionDim)
+	for i := range grad {
+		std := a.noiseStd(i)
+		g := -tdErr * (float64(a.prevAction[i]) - float64(mu[i])) / (std * std)
+		grad[i] = float32(clampF(g, -10, 10))
+	}
+	a.actor.Backward(grad)
+	a.actor.StepAdam(a.actorLR)
+}
+
+// ActorLR reports the current adaptive learning rate.
+func (a *Agent) ActorLR() float64 { return a.actorLR }
+
+// Steps reports how many updates have run.
+func (a *Agent) Steps() int64 { return a.steps }
+
+// Mean returns the actor's noiseless action for state, without recording it.
+func (a *Agent) Mean(state []float32) Action {
+	out := a.actor.Forward(state)
+	v := make([]float32, ActionDim)
+	copy(v, out)
+	return actionFrom(v)
+}
+
+// NumParams reports total parameters across both networks.
+func (a *Agent) NumParams() int { return a.actor.NumParams() + a.critic.NumParams() }
+
+// MemoryBytes reports parameter memory (Table 2's model row).
+func (a *Agent) MemoryBytes() int { return a.actor.MemoryBytes() + a.critic.MemoryBytes() }
+
+// TrainingMemoryBytes reports parameter+gradient+optimizer memory.
+func (a *Agent) TrainingMemoryBytes() int {
+	return a.actor.TrainingMemoryBytes() + a.critic.TrainingMemoryBytes()
+}
+
+// Save persists the actor and critic weights (pretraining artifacts, §3.6).
+func (a *Agent) Save(fs vfs.FS, prefix string) error {
+	if err := a.actor.Save(fs, prefix+".actor"); err != nil {
+		return err
+	}
+	return a.critic.Save(fs, prefix+".critic")
+}
+
+// Load restores previously saved weights.
+func (a *Agent) Load(fs vfs.FS, prefix string) error {
+	if err := a.actor.Load(fs, prefix+".actor"); err != nil {
+		return err
+	}
+	return a.critic.Load(fs, prefix+".critic")
+}
+
+// PretrainUnsupervised runs the same actor-critic process as online
+// deployment against an offline environment (§3.6's unsupervised setting):
+// env receives the sampled action and the current state, and returns the
+// reward plus the next state. Returns the mean reward over the final tenth
+// of the run.
+func (a *Agent) PretrainUnsupervised(env func(Action, []float32) (float64, []float32), state []float32, steps int) float64 {
+	var tail float64
+	tailStart := steps - steps/10
+	if tailStart < 1 {
+		tailStart = 1
+	}
+	for i := 0; i < steps; i++ {
+		act := a.Act(state)
+		reward, next := env(act, state)
+		a.Update(reward, reward, next)
+		state = next
+		if i >= tailStart {
+			tail += reward
+		}
+	}
+	n := steps - tailStart
+	if n <= 0 {
+		return 0
+	}
+	return tail / float64(n)
+}
+
+// PretrainSupervised fits the actor to (state, target action) pairs with
+// squared-error loss (§3.6's supervised setting), returning the final mean
+// loss.
+func (a *Agent) PretrainSupervised(states [][]float32, targets []Action, epochs int, lr float64) float64 {
+	if lr <= 0 {
+		lr = 1e-3
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < epochs; epoch++ {
+		var sum float64
+		for i := range states {
+			out := a.actor.Forward(states[i])
+			tv := targets[i].vector()
+			grad := make([]float32, ActionDim)
+			for j := range grad {
+				d := out[j] - tv[j]
+				grad[j] = d
+				sum += float64(d) * float64(d)
+			}
+			a.actor.Backward(grad)
+			a.actor.StepAdam(lr)
+		}
+		lastLoss = sum / float64(len(states)*ActionDim)
+	}
+	return lastLoss
+}
+
+func clamp01(v float64) float64 { return clampF(v, 0, 1) }
+
+func clampF(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	case math.IsNaN(v):
+		return lo
+	default:
+		return v
+	}
+}

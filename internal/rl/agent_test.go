@@ -1,0 +1,166 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"adcache/internal/vfs"
+)
+
+func constState() []float32 { return make([]float32, StateDim) }
+
+func TestActBounded(t *testing.T) {
+	a := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		act := a.Act(constState())
+		for _, v := range []float64{act.RangeRatio, act.PointThreshold, act.ScanA, act.ScanB} {
+			if v < 0 || v > 1 {
+				t.Fatalf("action component %f outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestFrozenAgentIsDeterministicAndUnchanging(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Frozen = true
+	a := New(cfg)
+	s := constState()
+	first := a.Act(s)
+	for i := 0; i < 10; i++ {
+		a.Update(0.5, 0.5, s) // must be a no-op
+		got := a.Act(s)
+		if got != first {
+			t.Fatalf("frozen agent changed output: %+v vs %+v", got, first)
+		}
+	}
+	if a.Steps() != 0 {
+		t.Fatalf("frozen agent recorded %d steps", a.Steps())
+	}
+}
+
+// TestConvergesToRewardPeak runs a bandit environment whose reward peaks at
+// RangeRatio = 0.85 and checks the policy mean migrates toward it.
+func TestConvergesToRewardPeak(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	a := New(cfg)
+	s := constState()
+	initial := math.Abs(a.Mean(s).RangeRatio - 0.85)
+	for i := 0; i < 3000; i++ {
+		act := a.Act(s)
+		reward := 0.2 - math.Abs(act.RangeRatio-0.85) // positive near the peak
+		a.Update(reward, reward, s)
+	}
+	final := math.Abs(a.Mean(s).RangeRatio - 0.85)
+	if final > initial && final > 0.15 {
+		t.Fatalf("policy did not approach peak: initial dist %.3f, final %.3f", initial, final)
+	}
+	if final > 0.3 {
+		t.Fatalf("policy too far from peak: %.3f", final)
+	}
+}
+
+func TestAdaptiveLearningRate(t *testing.T) {
+	a := New(DefaultConfig())
+	s := constState()
+	a.Act(s)
+	lr0 := a.ActorLR()
+	a.Update(0.5, 0.5, s) // positive lrDelta → decay
+	if a.ActorLR() >= lr0 {
+		t.Fatalf("lr did not decay on positive reward: %g -> %g", lr0, a.ActorLR())
+	}
+	a.Act(s)
+	lrBefore := a.ActorLR()
+	a.Update(-0.5, -0.5, s) // negative lrDelta (workload shift) → grow
+	if a.ActorLR() <= lrBefore {
+		t.Fatalf("lr did not grow on negative reward: %g -> %g", lrBefore, a.ActorLR())
+	}
+	// Bounds hold under extreme rewards.
+	for i := 0; i < 20; i++ {
+		a.Act(s)
+		a.Update(-10, -10, s)
+	}
+	if a.ActorLR() > 1e-2 {
+		t.Fatalf("lr exceeded upper bound: %g", a.ActorLR())
+	}
+	for i := 0; i < 200; i++ {
+		a.Act(s)
+		a.Update(0.99, 0.99, s)
+	}
+	if a.ActorLR() < 1e-5 {
+		t.Fatalf("lr fell below lower bound: %g", a.ActorLR())
+	}
+}
+
+func TestMemoryAccountingTable2(t *testing.T) {
+	a := New(DefaultConfig())
+	if n := a.NumParams(); n < 120_000 || n > 160_000 {
+		t.Fatalf("NumParams = %d, want ≈140K (paper Table 2)", n)
+	}
+	if b := a.MemoryBytes(); b < 450_000 || b > 650_000 {
+		t.Fatalf("MemoryBytes = %d, want ≈550KB", b)
+	}
+	if tb := a.TrainingMemoryBytes(); tb != 4*a.MemoryBytes() {
+		t.Fatalf("TrainingMemoryBytes = %d, want 4× weights", tb)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fs := vfs.NewMem()
+	a := New(DefaultConfig())
+	s := constState()
+	want := a.Mean(s)
+	if err := a.Save(fs, "models/agent"); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 999
+	b := New(cfg)
+	if err := b.Load(fs, "models/agent"); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	got := b.Mean(s)
+	if math.Abs(got.RangeRatio-want.RangeRatio) > 1e-6 {
+		t.Fatalf("loaded agent differs: %+v vs %+v", got, want)
+	}
+}
+
+func TestPretrainSupervised(t *testing.T) {
+	a := New(DefaultConfig())
+	states := make([][]float32, 0, 32)
+	targets := make([]Action, 0, 32)
+	for i := 0; i < 32; i++ {
+		s := make([]float32, StateDim)
+		s[0] = float32(i) / 32 // scan ratio feature, say
+		states = append(states, s)
+		// Teach: high scan ratio → low range ratio.
+		targets = append(targets, Action{RangeRatio: 1 - float64(i)/32, PointThreshold: 0.1, ScanA: 0.3, ScanB: 0.5})
+	}
+	loss := a.PretrainSupervised(states, targets, 300, 1e-3)
+	if loss > 0.01 {
+		t.Fatalf("pretraining loss = %f, want < 0.01", loss)
+	}
+	// Check generalisation direction: low-scan state → higher range ratio
+	// than high-scan state.
+	low := a.Mean(states[1]).RangeRatio
+	high := a.Mean(states[30]).RangeRatio
+	if low <= high {
+		t.Fatalf("pretrained policy not monotone: low=%f high=%f", low, high)
+	}
+}
+
+func TestPretrainUnsupervised(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	a := New(cfg)
+	// Offline environment: reward peaks when ScanB ≈ 0.3.
+	env := func(act Action, s []float32) (float64, []float32) {
+		return 0.3 - math.Abs(act.ScanB-0.3), s
+	}
+	mean := a.PretrainUnsupervised(env, constState(), 2500)
+	final := a.Mean(constState()).ScanB
+	if math.Abs(final-0.3) > 0.25 {
+		t.Fatalf("unsupervised pretraining did not approach the peak: b=%.3f (tail reward %.3f)", final, mean)
+	}
+}

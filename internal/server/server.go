@@ -1,0 +1,205 @@
+// Package server exposes a DB over HTTP — a thin, dependency-free network
+// front end so the store can be exercised from other processes and
+// languages (cmd/adcached serves it).
+//
+// Endpoints:
+//
+//	GET    /kv/{key}                 → 200 value | 404
+//	PUT    /kv/{key}   body=value    → 204
+//	DELETE /kv/{key}                 → 204
+//	GET    /scan?start=K&n=16        → 200 JSON [{"key":...,"value":...}]
+//	GET    /scan?start=K&end=L       → bounded variant
+//	POST   /batch      JSON ops      → 204 (atomic)
+//	GET    /stats                    → 200 JSON engine + cache counters
+//
+// Keys and values are raw bytes in paths/bodies (keys URL-escaped); the
+// scan and stats endpoints return JSON.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"adcache"
+)
+
+// Handler returns an http.Handler serving db.
+func Handler(db *adcache.DB) http.Handler {
+	mux := http.NewServeMux()
+	s := &server{db: db}
+	mux.HandleFunc("/kv/", s.handleKV)
+	mux.HandleFunc("/scan", s.handleScan)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+type server struct {
+	db *adcache.DB
+}
+
+func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/kv/")
+	if key == "" {
+		http.Error(w, "empty key", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		v, ok, err := s.db.Get([]byte(key))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(v)
+	case http.MethodPut, http.MethodPost:
+		value, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.db.Put([]byte(key), value); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodDelete:
+		if err := s.db.Delete([]byte(key)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// scanEntry is the JSON shape of one scan result.
+type scanEntry struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	start := q.Get("start")
+	n := 16
+	if raw := q.Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 || parsed > 10_000 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	var kvs []struct{ Key, Value []byte }
+	var err error
+	if end := q.Get("end"); end != "" {
+		res, e := s.db.ScanRange([]byte(start), []byte(end), n)
+		err = e
+		for _, kv := range res {
+			kvs = append(kvs, struct{ Key, Value []byte }{kv.Key, kv.Value})
+		}
+	} else {
+		res, e := s.db.Scan([]byte(start), n)
+		err = e
+		for _, kv := range res {
+			kvs = append(kvs, struct{ Key, Value []byte }{kv.Key, kv.Value})
+		}
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := make([]scanEntry, len(kvs))
+	for i, kv := range kvs {
+		out[i] = scanEntry{Key: string(kv.Key), Value: string(kv.Value)}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// batchOp is the JSON shape of one batched operation.
+type batchOp struct {
+	Op    string `json:"op"` // "put" or "delete"
+	Key   string `json:"key"`
+	Value string `json:"value,omitempty"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var ops []batchOp
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&ops); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	b := s.db.NewBatch()
+	for i, op := range ops {
+		switch op.Op {
+		case "put":
+			b.Put([]byte(op.Key), []byte(op.Value))
+		case "delete":
+			b.Delete([]byte(op.Key))
+		default:
+			http.Error(w, fmt.Sprintf("op %d: unknown %q", i, op.Op), http.StatusBadRequest)
+			return
+		}
+	}
+	if err := s.db.Apply(b); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// statsResponse is the JSON shape of /stats.
+type statsResponse struct {
+	Strategy    string                 `json:"strategy"`
+	SSTReads    int64                  `json:"sst_reads"`
+	LevelFiles  []int                  `json:"level_files"`
+	SortedRuns  int                    `json:"sorted_runs"`
+	Entries     uint64                 `json:"entries"`
+	Compactions int64                  `json:"compactions"`
+	Cache       adcache.CacheCounters  `json:"cache"`
+	AdCache     map[string]interface{} `json:"adcache,omitempty"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.db.LSM().Metrics()
+	resp := statsResponse{
+		Strategy:    s.db.Strategy().String(),
+		SSTReads:    s.db.SSTReads(),
+		LevelFiles:  m.LevelFiles,
+		SortedRuns:  m.SortedRuns,
+		Entries:     m.TotalEntries,
+		Compactions: m.Compactions,
+		Cache:       s.db.CacheCounters(),
+	}
+	if ad := s.db.AdCache(); ad != nil {
+		p := ad.CurrentParams()
+		resp.AdCache = map[string]interface{}{
+			"range_ratio":     p.RangeRatio,
+			"point_threshold": p.PointThreshold,
+			"scan_a":          p.ScanA,
+			"scan_b":          p.ScanB,
+			"windows":         ad.Windows(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"adcache"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *adcache.DB) {
+	t.Helper()
+	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(db))
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return srv, db
+}
+
+func do(t *testing.T, method, url, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp, buf.String()
+}
+
+func TestPutGetDelete(t *testing.T) {
+	srv, _ := testServer(t)
+	if resp, _ := do(t, "PUT", srv.URL+"/kv/hello", "world"); resp.StatusCode != 204 {
+		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+	resp, body := do(t, "GET", srv.URL+"/kv/hello", "")
+	if resp.StatusCode != 200 || body != "world" {
+		t.Fatalf("GET = %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := do(t, "DELETE", srv.URL+"/kv/hello", ""); resp.StatusCode != 204 {
+		t.Fatalf("DELETE status %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", srv.URL+"/kv/hello", ""); resp.StatusCode != 404 {
+		t.Fatalf("GET after delete = %d", resp.StatusCode)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	srv, _ := testServer(t)
+	if resp, _ := do(t, "GET", srv.URL+"/kv/nope", ""); resp.StatusCode != 404 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", srv.URL+"/kv/", ""); resp.StatusCode != 400 {
+		t.Fatalf("empty key status %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, "PATCH", srv.URL+"/kv/x", ""); resp.StatusCode != 405 {
+		t.Fatalf("bad method status %d", resp.StatusCode)
+	}
+}
+
+func TestScanEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	for i := 0; i < 10; i++ {
+		do(t, "PUT", fmt.Sprintf("%s/kv/key%02d", srv.URL, i), fmt.Sprintf("v%d", i))
+	}
+	resp, body := do(t, "GET", srv.URL+"/scan?start=key03&n=3", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var entries []scanEntry
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0].Key != "key03" || entries[2].Key != "key05" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	// Bounded variant.
+	_, body = do(t, "GET", srv.URL+"/scan?start=key03&end=key05", "")
+	json.Unmarshal([]byte(body), &entries)
+	if len(entries) != 2 {
+		t.Fatalf("bounded entries = %+v", entries)
+	}
+	// Bad n rejected.
+	if resp, _ := do(t, "GET", srv.URL+"/scan?start=a&n=zap", ""); resp.StatusCode != 400 {
+		t.Fatalf("bad n status %d", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	ops := `[{"op":"put","key":"a","value":"1"},{"op":"put","key":"b","value":"2"},{"op":"delete","key":"a"}]`
+	if resp, body := do(t, "POST", srv.URL+"/batch", ops); resp.StatusCode != 204 {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := do(t, "GET", srv.URL+"/kv/a", ""); resp.StatusCode != 404 {
+		t.Fatal("deleted-in-batch key visible")
+	}
+	if _, body := do(t, "GET", srv.URL+"/kv/b", ""); body != "2" {
+		t.Fatalf("b = %q", body)
+	}
+	// Unknown op rejected atomically (nothing applied).
+	bad := `[{"op":"put","key":"c","value":"3"},{"op":"zap","key":"d"}]`
+	if resp, _ := do(t, "POST", srv.URL+"/batch", bad); resp.StatusCode != 400 {
+		t.Fatal("bad batch accepted")
+	}
+	if resp, _ := do(t, "GET", srv.URL+"/kv/c", ""); resp.StatusCode != 404 {
+		t.Fatal("partial batch applied")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	do(t, "PUT", srv.URL+"/kv/x", "y")
+	do(t, "GET", srv.URL+"/kv/x", "")
+	resp, body := do(t, "GET", srv.URL+"/stats", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st statsResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Strategy != "AdCache" {
+		t.Fatalf("strategy = %q", st.Strategy)
+	}
+	if st.AdCache == nil {
+		t.Fatal("adcache params missing")
+	}
+}

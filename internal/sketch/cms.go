@@ -1,0 +1,154 @@
+// Package sketch implements the Count-Min Sketch with saturating decay that
+// backs AdCache's frequency-based point admission (§3.4): missed keys are
+// counted, and a key is admitted only when its frequency relative to the
+// global missed-key total clears the RL-tuned threshold. When any counter
+// saturates (default 8), all counters and the global sum halve, so stale hot
+// keys fade — the TinyLFU aging scheme.
+package sketch
+
+import (
+	"sync"
+
+	"adcache/internal/bloom"
+)
+
+// DefaultSaturation is the paper's example saturation point.
+const DefaultSaturation = 8
+
+// CMS is a Count-Min Sketch with decay. It is safe for concurrent use.
+type CMS struct {
+	mu     sync.Mutex
+	rows   int
+	width  uint64
+	counts [][]uint8
+	sum    uint64 // total increments since last decay (halved with counters)
+	sat    uint8
+	decays int64
+}
+
+// New returns a sketch with the given depth (rows) and width (counters per
+// row). Width should be a few times the hot-set size; rows of 4 gives a
+// good collision bound.
+func New(rows, width int) *CMS {
+	if rows < 1 {
+		rows = 4
+	}
+	if width < 16 {
+		width = 16
+	}
+	c := &CMS{rows: rows, width: uint64(width), sat: DefaultSaturation}
+	c.counts = make([][]uint8, rows)
+	for i := range c.counts {
+		c.counts[i] = make([]uint8, width)
+	}
+	return c
+}
+
+// SetSaturation overrides the decay trigger (tests).
+func (c *CMS) SetSaturation(sat uint8) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sat > 0 {
+		c.sat = sat
+	}
+}
+
+// hashes derives row positions via double hashing.
+func (c *CMS) position(h uint64, row int) uint64 {
+	h2 := h>>32 | h<<32
+	return (h + uint64(row)*h2) % c.width
+}
+
+// Increment counts one occurrence of key and returns its updated estimate.
+func (c *CMS) Increment(key []byte) uint64 {
+	h := bloom.Hash64(key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	est := uint8(255)
+	for row := 0; row < c.rows; row++ {
+		p := c.position(h, row)
+		if c.counts[row][p] < 255 {
+			c.counts[row][p]++
+		}
+		if c.counts[row][p] < est {
+			est = c.counts[row][p]
+		}
+	}
+	c.sum++
+	if est >= c.sat {
+		c.decayLocked()
+		est /= 2
+	}
+	return uint64(est)
+}
+
+// Estimate returns the approximate count for key.
+func (c *CMS) Estimate(key []byte) uint64 {
+	h := bloom.Hash64(key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	est := uint8(255)
+	for row := 0; row < c.rows; row++ {
+		p := c.position(h, row)
+		if c.counts[row][p] < est {
+			est = c.counts[row][p]
+		}
+	}
+	return uint64(est)
+}
+
+// Sum returns the decayed global increment total.
+func (c *CMS) Sum() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sum
+}
+
+// Score returns key's normalized importance: estimate / sum, in [0, 1].
+// This is the quantity compared against the RL-tuned admission threshold.
+func (c *CMS) Score(key []byte) float64 {
+	h := bloom.Hash64(key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sum == 0 {
+		return 0
+	}
+	est := uint8(255)
+	for row := 0; row < c.rows; row++ {
+		p := c.position(h, row)
+		if c.counts[row][p] < est {
+			est = c.counts[row][p]
+		}
+	}
+	return float64(est) / float64(c.sum)
+}
+
+// decayLocked halves every counter and the global sum.
+func (c *CMS) decayLocked() {
+	for row := range c.counts {
+		for i := range c.counts[row] {
+			c.counts[row][i] /= 2
+		}
+	}
+	c.sum /= 2
+	c.decays++
+}
+
+// Decays reports how many halvings have occurred.
+func (c *CMS) Decays() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decays
+}
+
+// Reset zeroes the sketch.
+func (c *CMS) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for row := range c.counts {
+		for i := range c.counts[row] {
+			c.counts[row][i] = 0
+		}
+	}
+	c.sum = 0
+}

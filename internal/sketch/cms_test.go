@@ -1,0 +1,125 @@
+package sketch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestIncrementEstimate(t *testing.T) {
+	c := New(4, 1024)
+	k := []byte("hot")
+	for i := 0; i < 5; i++ {
+		c.Increment(k)
+	}
+	if est := c.Estimate(k); est != 5 {
+		t.Fatalf("Estimate = %d, want 5", est)
+	}
+	if est := c.Estimate([]byte("cold")); est != 0 {
+		t.Fatalf("Estimate(cold) = %d", est)
+	}
+	if c.Sum() != 5 {
+		t.Fatalf("Sum = %d", c.Sum())
+	}
+}
+
+func TestSaturationDecayHalves(t *testing.T) {
+	c := New(4, 1024)
+	c.SetSaturation(8)
+	k := []byte("hot")
+	for i := 0; i < 8; i++ {
+		c.Increment(k)
+	}
+	// The 8th increment hits saturation and halves everything.
+	if c.Decays() != 1 {
+		t.Fatalf("Decays = %d", c.Decays())
+	}
+	if est := c.Estimate(k); est != 4 {
+		t.Fatalf("post-decay Estimate = %d, want 4", est)
+	}
+	if c.Sum() != 4 {
+		t.Fatalf("post-decay Sum = %d, want 4", c.Sum())
+	}
+}
+
+func TestDecayFadesOldKeys(t *testing.T) {
+	c := New(4, 4096)
+	c.SetSaturation(8)
+	old := []byte("old")
+	for i := 0; i < 4; i++ {
+		c.Increment(old)
+	}
+	// A new hot key decays the sketch repeatedly; "old" should fade.
+	hot := []byte("hot")
+	for i := 0; i < 64; i++ {
+		c.Increment(hot)
+	}
+	if est := c.Estimate(old); est > 1 {
+		t.Fatalf("old key estimate = %d, should have faded", est)
+	}
+}
+
+func TestScoreNormalisation(t *testing.T) {
+	c := New(4, 4096)
+	if s := c.Score([]byte("any")); s != 0 {
+		t.Fatalf("empty-sketch Score = %f", s)
+	}
+	hot := []byte("hot")
+	for i := 0; i < 6; i++ {
+		c.Increment(hot)
+	}
+	for i := 0; i < 94; i++ {
+		c.Increment([]byte(fmt.Sprintf("one-off-%d", i)))
+	}
+	hotScore := c.Score(hot)
+	coldScore := c.Score([]byte("one-off-3"))
+	if hotScore <= coldScore {
+		t.Fatalf("hot %f <= cold %f", hotScore, coldScore)
+	}
+	if hotScore < 0.04 || hotScore > 0.08 {
+		t.Fatalf("hot score = %f, want ≈6/100", hotScore)
+	}
+}
+
+func TestOverestimateOnlyProperty(t *testing.T) {
+	// A Count-Min Sketch may overestimate but never underestimate (before
+	// decay fires).
+	c := New(4, 64) // small width forces collisions
+	c.SetSaturation(200)
+	truth := map[string]int{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d", i%50)
+		c.Increment([]byte(k))
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := int(c.Estimate([]byte(k))); got < want {
+			t.Fatalf("underestimate for %s: got %d, want >= %d", k, got, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(4, 256)
+	c.Increment([]byte("k"))
+	c.Reset()
+	if c.Estimate([]byte("k")) != 0 || c.Sum() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(4, 4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				c.Increment([]byte(fmt.Sprintf("k%d", i%64)))
+				c.Score([]byte(fmt.Sprintf("k%d", i%64)))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,71 @@
+package sstable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adcache/internal/keys"
+	"adcache/internal/vfs"
+)
+
+func BenchmarkWriterAdd(b *testing.B) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("bench.sst")
+	w := NewWriter(f, WriterOptions{})
+	value := []byte(fmt.Sprintf("val%0100d", 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ik := keys.Make([]byte(fmt.Sprintf("key%012d", i)), uint64(i+1), keys.KindSet)
+		if err := w.Add(ik, value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReaderGet(b *testing.B) {
+	fs := vfs.NewMem()
+	buildTable(b, fs, "bench.sst", 100_000, WriterOptions{})
+	r := openTable(b, fs, "bench.sst", ReaderOptions{})
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("key%06d", rng.Intn(100_000)))
+		if _, _, ok, err := r.Get(k, keys.MaxSeq, nil); err != nil || !ok {
+			b.Fatal("get failed")
+		}
+	}
+}
+
+func BenchmarkReaderGetFiltered(b *testing.B) {
+	fs := vfs.NewMem()
+	buildTable(b, fs, "bench.sst", 100_000, WriterOptions{BitsPerKey: 10})
+	r := openTable(b, fs, "bench.sst", ReaderOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("absent%09d", i))
+		if _, _, ok, _ := r.Get(k, keys.MaxSeq, nil); ok {
+			b.Fatal("phantom")
+		}
+	}
+}
+
+func BenchmarkIterFullScan(b *testing.B) {
+	fs := vfs.NewMem()
+	buildTable(b, fs, "bench.sst", 50_000, WriterOptions{})
+	r := openTable(b, fs, "bench.sst", ReaderOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := r.NewIter(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for ok := it.First(); ok; ok = it.Next() {
+			n++
+		}
+		if n != 50_000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package sstable
+
+import (
+	"adcache/internal/block"
+	"adcache/internal/keys"
+)
+
+// Iter is a forward iterator over a whole table. It walks the index block
+// and streams through data blocks. Each data block is fetched through the
+// cache with scan-fill semantics.
+//
+// Iter is not safe for concurrent use.
+type Iter struct {
+	r       *Reader
+	index   *block.Iter
+	data    *block.Iter
+	stats   *ReadStats
+	fill    bool
+	bypass  bool // skip the cache entirely (compaction reads)
+	err     error
+	valid   bool
+	exhaust bool
+}
+
+// NewIter returns an iterator over r. stats may be nil.
+func (r *Reader) NewIter(stats *ReadStats) (*Iter, error) {
+	idx, err := block.NewIter(r.index, icmp)
+	if err != nil {
+		return nil, err
+	}
+	return &Iter{r: r, index: idx, stats: stats, fill: !r.opts.NoFillOnScan}, nil
+}
+
+// NewIterNoCache returns an iterator that bypasses the block cache entirely:
+// it neither probes nor fills. Compaction uses it so merge I/O does not
+// pollute the cache or perturb eviction recency, matching RocksDB.
+func (r *Reader) NewIterNoCache() (*Iter, error) {
+	idx, err := block.NewIter(r.index, icmp)
+	if err != nil {
+		return nil, err
+	}
+	return &Iter{r: r, index: idx, bypass: true}, nil
+}
+
+// loadData opens the data block at the current index position.
+func (i *Iter) loadData() bool {
+	if len(i.index.Value()) != 16 {
+		i.err = errCorruptf("bad index entry")
+		return false
+	}
+	var data []byte
+	var err error
+	if i.bypass {
+		data, err = i.r.readBlockRaw(decodeHandle(i.index.Value()))
+	} else {
+		data, err = i.r.readBlock(decodeHandle(i.index.Value()), i.fill, true, i.stats)
+	}
+	if err != nil {
+		i.err = err
+		return false
+	}
+	i.data, err = block.NewIter(data, icmp)
+	if err != nil {
+		i.err = err
+		return false
+	}
+	return true
+}
+
+// First positions at the table's first entry.
+func (i *Iter) First() bool {
+	i.exhaust, i.valid = false, false
+	if !i.index.First() {
+		i.exhaust = true
+		return false
+	}
+	if !i.loadData() || !i.data.First() {
+		return false
+	}
+	i.valid = true
+	return true
+}
+
+// Seek positions at the first entry with internal key >= target.
+func (i *Iter) Seek(target keys.InternalKey) bool {
+	i.exhaust, i.valid = false, false
+	if !i.index.Seek(target) {
+		i.exhaust = true
+		return false
+	}
+	if !i.loadData() {
+		return false
+	}
+	if !i.data.Seek(target) {
+		// Target is past this block's last key (possible only due to index
+		// separator semantics); advance to the next block's first entry.
+		return i.nextBlock()
+	}
+	i.valid = true
+	return true
+}
+
+// Next advances to the following entry.
+func (i *Iter) Next() bool {
+	if !i.valid {
+		return false
+	}
+	if i.data.Next() {
+		return true
+	}
+	return i.nextBlock()
+}
+
+func (i *Iter) nextBlock() bool {
+	i.valid = false
+	if !i.index.Next() {
+		i.exhaust = true
+		return false
+	}
+	if !i.loadData() || !i.data.First() {
+		return false
+	}
+	i.valid = true
+	return true
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (i *Iter) Valid() bool { return i.valid }
+
+// Key returns the current internal key; valid until the next move.
+func (i *Iter) Key() keys.InternalKey { return keys.InternalKey(i.data.Key()) }
+
+// Value returns the current value; valid until the next move.
+func (i *Iter) Value() []byte { return i.data.Value() }
+
+// Err returns the first error encountered.
+func (i *Iter) Err() error {
+	if i.err != nil {
+		return i.err
+	}
+	if i.data != nil && i.data.Err() != nil {
+		return i.data.Err()
+	}
+	return i.index.Err()
+}

@@ -1,0 +1,211 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"adcache/internal/block"
+	"adcache/internal/bloom"
+	"adcache/internal/keys"
+	"adcache/internal/vfs"
+)
+
+// BlockCache is the hook through which block reads are cached. The engine's
+// block cache implements it; AdCache wraps the insert side with admission
+// control. Implementations must be safe for concurrent use.
+type BlockCache interface {
+	// Get returns the cached block for (fileNum, offset), if present.
+	Get(fileNum, offset uint64) ([]byte, bool)
+	// Insert offers a block for caching; the cache may decline. scan
+	// reports whether the block was read by a range-scan iterator rather
+	// than a point lookup, letting admission policies treat the two
+	// differently (§3.4 "this strategy can also be applied to the block
+	// cache").
+	Insert(fileNum, offset uint64, data []byte, scan bool)
+}
+
+// ReadStats counts logical cache activity for one reader. Updated atomically
+// via the shared counters passed in ReaderOptions.
+type ReadStats struct {
+	// BlockHits counts block reads served from the cache.
+	BlockHits int64
+	// BlockMisses counts block reads that went to the file.
+	BlockMisses int64
+	// FilterNegatives counts point lookups rejected by the Bloom filter.
+	FilterNegatives int64
+	// LimitScanFill enables the per-operation block-fill budget below.
+	LimitScanFill bool
+	// ScanFillBudget is decremented per scan-path cache insert once
+	// LimitScanFill is set; at zero, further scan fills are suppressed.
+	// ReadStats is per-operation and accessed from one goroutine, so no
+	// synchronisation is needed.
+	ScanFillBudget int64
+}
+
+// ReaderOptions configures a table reader.
+type ReaderOptions struct {
+	// Cache, if non-nil, serves and receives data blocks.
+	Cache BlockCache
+	// FileNum identifies this file in cache keys.
+	FileNum uint64
+	// NoFillOnScan, when true, suppresses inserting blocks read by
+	// iterators (scans) into the cache; point lookups still fill. AdCache
+	// overrides fill behaviour via its own BlockCache wrapper instead.
+	NoFillOnScan bool
+}
+
+// Reader provides random access to a finished sstable.
+type Reader struct {
+	f       vfs.File
+	opts    ReaderOptions
+	index   []byte // decoded index block
+	filter  bloom.Filter
+	entries uint64
+	size    int64
+}
+
+// NewReader opens the table in f.
+func NewReader(f vfs.File, opts ReaderOptions) (*Reader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < FooterLen {
+		return nil, errCorruptf("file too small (%d bytes)", size)
+	}
+	var footer [FooterLen]byte
+	if _, err := f.ReadAt(footer[:], size-FooterLen); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(footer[40:]) != Magic {
+		return nil, errCorruptf("bad magic")
+	}
+	r := &Reader{f: f, opts: opts, size: size}
+	r.entries = binary.LittleEndian.Uint64(footer[32:])
+	filterHandle := decodeHandle(footer[:])
+	indexHandle := decodeHandle(footer[16:])
+
+	r.index, err = r.readBlockRaw(indexHandle)
+	if err != nil {
+		return nil, err
+	}
+	if filterHandle.Length > 0 {
+		fb, err := r.readBlockRaw(filterHandle)
+		if err != nil {
+			return nil, err
+		}
+		r.filter = bloom.Filter(fb)
+	}
+	return r, nil
+}
+
+// NumEntries reports the entry count recorded in the footer.
+func (r *Reader) NumEntries() uint64 { return r.entries }
+
+// Size reports the file size in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// readBlockRaw reads and checksums a block, bypassing the cache. Used for
+// the index and filter blocks, which are pinned in memory for the reader's
+// lifetime (as RocksDB does with its index/filter partitions by default).
+func (r *Reader) readBlockRaw(h Handle) ([]byte, error) {
+	buf := make([]byte, h.Length+4)
+	if _, err := r.f.ReadAt(buf, int64(h.Offset)); err != nil {
+		return nil, err
+	}
+	data := buf[:h.Length]
+	want := binary.LittleEndian.Uint32(buf[h.Length:])
+	if crc32.Checksum(data, crcTable) != want {
+		return nil, errCorruptf("checksum mismatch at offset %d", h.Offset)
+	}
+	return data, nil
+}
+
+// readBlock fetches a data block through the cache. fill controls whether a
+// missed block is offered to the cache (false for scan paths when
+// NoFillOnScan is set); scan tags the insert with its origin.
+func (r *Reader) readBlock(h Handle, fill, scan bool, stats *ReadStats) ([]byte, error) {
+	if c := r.opts.Cache; c != nil {
+		if data, ok := c.Get(r.opts.FileNum, h.Offset); ok {
+			if stats != nil {
+				stats.BlockHits++
+			}
+			return data, nil
+		}
+	}
+	data, err := r.readBlockRaw(h)
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		stats.BlockMisses++
+	}
+	if c := r.opts.Cache; c != nil && fill {
+		if scan && stats != nil && stats.LimitScanFill {
+			// Block-level partial admission: the fill budget is consumed
+			// only by actual inserts, never by cache hits.
+			if stats.ScanFillBudget > 0 {
+				stats.ScanFillBudget--
+				c.Insert(r.opts.FileNum, h.Offset, data, scan)
+			}
+		} else {
+			c.Insert(r.opts.FileNum, h.Offset, data, scan)
+		}
+	}
+	return data, nil
+}
+
+// findBlock locates the handle of the data block that may contain ikey.
+// Returns ok=false if ikey is past the last block.
+func (r *Reader) findBlock(ikey keys.InternalKey) (Handle, bool, error) {
+	it, err := block.NewIter(r.index, icmp)
+	if err != nil {
+		return Handle{}, false, err
+	}
+	if !it.Seek(ikey) {
+		return Handle{}, false, it.Err()
+	}
+	if len(it.Value()) != 16 {
+		return Handle{}, false, errCorruptf("bad index entry")
+	}
+	return decodeHandle(it.Value()), true, nil
+}
+
+// Get returns the value for the newest version of userKey visible at
+// snapshot seq. Returns ok=false if the table has no visible version;
+// deleted=true if the newest visible version is a tombstone.
+func (r *Reader) Get(userKey []byte, seq uint64, stats *ReadStats) (value []byte, deleted, ok bool, err error) {
+	if r.filter != nil && !r.filter.MayContain(userKey) {
+		if stats != nil {
+			stats.FilterNegatives++
+		}
+		return nil, false, false, nil
+	}
+	search := keys.MakeSearch(userKey, seq)
+	h, found, err := r.findBlock(search)
+	if err != nil || !found {
+		return nil, false, false, err
+	}
+	data, err := r.readBlock(h, true, false, stats)
+	if err != nil {
+		return nil, false, false, err
+	}
+	it, err := block.NewIter(data, icmp)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if !it.Seek(search) {
+		return nil, false, false, it.Err()
+	}
+	ik := keys.InternalKey(it.Key())
+	if string(ik.UserKey()) != string(userKey) {
+		return nil, false, false, nil
+	}
+	if ik.Kind() == keys.KindDelete {
+		return nil, true, true, nil
+	}
+	// Copy: the block may live in the cache and be evicted/reused.
+	return append([]byte(nil), it.Value()...), false, true, nil
+}
+
+func icmp(a, b []byte) int { return keys.Compare(a, b) }

@@ -1,0 +1,233 @@
+// Package sstable implements the sorted-string-table file format: sorted
+// immutable runs of internal keys organised into prefix-compressed data
+// blocks with a Bloom filter and a block index.
+//
+// Layout:
+//
+//	[data block 0][crc32]
+//	[data block 1][crc32]
+//	...
+//	[filter block][crc32]     Bloom filter over user keys
+//	[index block][crc32]      last internal key of each data block → handle
+//	[footer]                  fixed 48 bytes: filter handle, index handle,
+//	                          entry count, magic
+//
+// Every block read goes through one File.ReadAt call, so the vfs read
+// counter equals the paper's "SST reads" metric, and each read consults the
+// pluggable BlockCache first — the hook AdCache uses for both caching and
+// block-level admission control.
+package sstable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"adcache/internal/block"
+	"adcache/internal/bloom"
+	"adcache/internal/keys"
+	"adcache/internal/vfs"
+)
+
+const (
+	// Magic identifies sstable files.
+	Magic = 0xadca0c1e5ab1e000
+	// FooterLen is the fixed footer size.
+	FooterLen = 48
+	// DefaultBlockSize is the target data-block size (the paper's 4 KiB).
+	DefaultBlockSize = 4096
+	// DefaultBitsPerKey is the paper's Bloom filter budget.
+	DefaultBitsPerKey = 10
+)
+
+// ErrCorrupt reports a structurally invalid table.
+var ErrCorrupt = errors.New("sstable: corrupt table")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Handle locates a block within the file.
+type Handle struct {
+	Offset uint64
+	Length uint64 // block payload length, excluding the crc32 suffix
+}
+
+func (h Handle) encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, h.Offset)
+	dst = binary.LittleEndian.AppendUint64(dst, h.Length)
+	return dst
+}
+
+func decodeHandle(src []byte) Handle {
+	return Handle{
+		Offset: binary.LittleEndian.Uint64(src),
+		Length: binary.LittleEndian.Uint64(src[8:]),
+	}
+}
+
+// WriterOptions configures table construction.
+type WriterOptions struct {
+	// BlockSize is the uncompressed target size of data blocks.
+	BlockSize int
+	// BitsPerKey sizes the Bloom filter; 0 disables the filter.
+	BitsPerKey int
+	// RestartInterval for prefix compression.
+	RestartInterval int
+}
+
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.BlockSize <= 0 {
+		o.BlockSize = DefaultBlockSize
+	}
+	if o.RestartInterval <= 0 {
+		o.RestartInterval = block.DefaultRestartInterval
+	}
+	return o
+}
+
+// Meta summarises a finished table for the manifest.
+type Meta struct {
+	Smallest   keys.InternalKey
+	Largest    keys.InternalKey
+	NumEntries uint64
+	Size       uint64
+}
+
+// Writer builds an sstable. Entries must be added in increasing internal-key
+// order.
+type Writer struct {
+	f      vfs.File
+	opts   WriterOptions
+	buf    *block.Builder
+	index  *block.Builder
+	offset uint64
+
+	userKeys   [][]byte // for the bloom filter
+	numEntries uint64
+	smallest   keys.InternalKey
+	largest    keys.InternalKey
+	lastUser   []byte
+	err        error
+}
+
+// NewWriter starts a table in f.
+func NewWriter(f vfs.File, opts WriterOptions) *Writer {
+	opts = opts.withDefaults()
+	return &Writer{
+		f:     f,
+		opts:  opts,
+		buf:   block.NewBuilder(opts.RestartInterval),
+		index: block.NewBuilder(1),
+	}
+}
+
+// Add appends an entry. ikey must be strictly greater than the previous one.
+func (w *Writer) Add(ikey keys.InternalKey, value []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.smallest == nil {
+		w.smallest = append(keys.InternalKey(nil), ikey...)
+	}
+	w.largest = append(w.largest[:0], ikey...)
+	uk := ikey.UserKey()
+	if w.opts.BitsPerKey > 0 && string(uk) != string(w.lastUser) {
+		w.userKeys = append(w.userKeys, append([]byte(nil), uk...))
+	}
+	w.lastUser = append(w.lastUser[:0], uk...)
+	w.buf.Add(ikey, value)
+	w.numEntries++
+	if w.buf.EstimatedSize() >= w.opts.BlockSize {
+		w.flushBlock()
+	}
+	return w.err
+}
+
+func (w *Writer) flushBlock() {
+	if w.buf.Empty() || w.err != nil {
+		return
+	}
+	h, err := w.writeBlock(w.buf.Finish())
+	if err != nil {
+		w.err = err
+		return
+	}
+	w.index.Add(w.largest, h.encode(nil))
+	w.buf.Reset()
+}
+
+// writeBlock writes data + crc and returns its handle.
+func (w *Writer) writeBlock(data []byte) (Handle, error) {
+	h := Handle{Offset: w.offset, Length: uint64(len(data))}
+	if _, err := w.f.Write(data); err != nil {
+		return Handle{}, err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(data, crcTable))
+	if _, err := w.f.Write(crcBuf[:]); err != nil {
+		return Handle{}, err
+	}
+	w.offset += uint64(len(data)) + 4
+	return h, nil
+}
+
+// Finish flushes remaining data, writes filter, index and footer, and
+// returns the table metadata. The file is synced but not closed.
+func (w *Writer) Finish() (Meta, error) {
+	if w.err != nil {
+		return Meta{}, w.err
+	}
+	if w.numEntries == 0 {
+		return Meta{}, errors.New("sstable: empty table")
+	}
+	w.flushBlock()
+	if w.err != nil {
+		return Meta{}, w.err
+	}
+
+	var filterHandle Handle
+	if w.opts.BitsPerKey > 0 {
+		filter := bloom.Build(w.userKeys, w.opts.BitsPerKey)
+		h, err := w.writeBlock(filter)
+		if err != nil {
+			return Meta{}, err
+		}
+		filterHandle = h
+	}
+
+	indexHandle, err := w.writeBlock(w.index.Finish())
+	if err != nil {
+		return Meta{}, err
+	}
+
+	var footer [FooterLen]byte
+	filterHandle.encode(footer[:0])
+	indexHandle.encode(footer[16:16])
+	binary.LittleEndian.PutUint64(footer[32:], w.numEntries)
+	binary.LittleEndian.PutUint64(footer[40:], Magic)
+	if _, err := w.f.Write(footer[:]); err != nil {
+		return Meta{}, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return Meta{}, err
+	}
+	w.offset += FooterLen
+	return Meta{
+		Smallest:   w.smallest,
+		Largest:    w.largest,
+		NumEntries: w.numEntries,
+		Size:       w.offset,
+	}, nil
+}
+
+// EstimatedSize reports bytes written so far plus the pending block.
+func (w *Writer) EstimatedSize() uint64 {
+	return w.offset + uint64(w.buf.EstimatedSize())
+}
+
+// NumEntries reports entries added so far.
+func (w *Writer) NumEntries() uint64 { return w.numEntries }
+
+func errCorruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"adcache/internal/vfs"
+	"adcache/internal/workload"
+)
+
+func sampleOps(n int) []workload.Op {
+	ops := make([]workload.Op, n)
+	for i := range ops {
+		switch i % 3 {
+		case 0:
+			ops[i] = workload.Op{Kind: workload.OpGet, Key: []byte(fmt.Sprintf("k%05d", i))}
+		case 1:
+			ops[i] = workload.Op{Kind: workload.OpScan, Key: []byte(fmt.Sprintf("k%05d", i)), ScanLen: 16}
+		case 2:
+			ops[i] = workload.Op{Kind: workload.OpPut, Key: []byte(fmt.Sprintf("k%05d", i))}
+		}
+	}
+	return ops
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("trace")
+	w := NewWriter(f)
+	ops := sampleOps(100)
+	for _, op := range ops {
+		if err := w.Record(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() != 100 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, _ := fs.Open("trace")
+	got, err := ReadAll(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("read %d ops", len(got))
+	}
+	for i := range got {
+		if got[i].Kind != ops[i].Kind || string(got[i].Key) != string(ops[i].Key) ||
+			got[i].ScanLen != ops[i].ScanLen {
+			t.Fatalf("op %d = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("trace")
+	NewWriter(f).Close()
+	g, _ := fs.Open("trace")
+	r, err := NewReader(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty trace Next err = %v", err)
+	}
+}
+
+func TestCorruptTraceRejected(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("trace")
+	f.Write([]byte{200, 0, 0, 0, 1, 2, 3}) // frame promises 200 bytes
+	g, _ := fs.Open("trace")
+	if _, err := ReadAll(g); err != ErrCorrupt {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	var ops []workload.Op
+	// 1000 gets, then 1000 mixed scans/writes.
+	for i := 0; i < 1000; i++ {
+		ops = append(ops, workload.Op{Kind: workload.OpGet, Key: []byte("k")})
+	}
+	for i := 0; i < 500; i++ {
+		ops = append(ops, workload.Op{Kind: workload.OpScan, Key: []byte("k"), ScanLen: 64})
+		ops = append(ops, workload.Op{Kind: workload.OpPut, Key: []byte("k")})
+	}
+	ws := Windows(ops, 1000)
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if ws[0].Points != 1000 || ws[0].Ops() != 1000 {
+		t.Fatalf("window 0 = %+v", ws[0])
+	}
+	if ws[1].LongScans != 500 || ws[1].Writes != 500 {
+		t.Fatalf("window 1 = %+v", ws[1])
+	}
+	if avg := ws[1].AvgScanLen(); avg != 64 {
+		t.Fatalf("avg scan len = %f", avg)
+	}
+}
+
+func TestWindowsKeepsLargePartial(t *testing.T) {
+	ops := sampleOps(700)
+	ws := Windows(ops, 1000)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d (700 ops should form one partial window)", len(ws))
+	}
+	tiny := Windows(sampleOps(100), 1000)
+	if len(tiny) != 0 {
+		t.Fatalf("windows = %d (100 ops should be dropped)", len(tiny))
+	}
+}
+
+func TestShortVsLongScanSplit(t *testing.T) {
+	ops := []workload.Op{
+		{Kind: workload.OpScan, ScanLen: workload.ShortScanLen, Key: []byte("k")},
+		{Kind: workload.OpScan, ScanLen: workload.LongScanLen, Key: []byte("k")},
+	}
+	ws := Windows(ops, 2)
+	if len(ws) != 1 || ws[0].ShortScans != 1 || ws[0].LongScans != 1 {
+		t.Fatalf("window = %+v", ws)
+	}
+}

@@ -1,0 +1,130 @@
+package vfs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is returned by FaultFS when a scheduled fault fires.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// FaultFS wraps an FS and fails operations according to a programmable
+// schedule. It is used by robustness tests (WAL replay after torn writes,
+// compaction failure handling, etc.).
+type FaultFS struct {
+	FS
+
+	mu sync.Mutex
+	// failAfterWrites fails every write once the countdown reaches zero.
+	// A negative value disables injection.
+	failAfterWrites int
+	// failCreates fails the next Create calls while positive.
+	failCreates int
+	// failReads fails every ReadAt while true.
+	failReads bool
+}
+
+// NewFault wraps fs with fault injection disabled.
+func NewFault(fs FS) *FaultFS {
+	return &FaultFS{FS: fs, failAfterWrites: -1}
+}
+
+// FailAfterWrites arranges for every write after the next n to fail.
+func (f *FaultFS) FailAfterWrites(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAfterWrites = n
+}
+
+// FailCreates arranges for the next n Create calls to fail.
+func (f *FaultFS) FailCreates(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failCreates = n
+}
+
+// SetFailReads toggles failing all reads.
+func (f *FaultFS) SetFailReads(fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failReads = fail
+}
+
+// Reset disables all fault injection.
+func (f *FaultFS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAfterWrites = -1
+	f.failCreates = 0
+	f.failReads = false
+}
+
+func (f *FaultFS) writeAllowed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failAfterWrites < 0 {
+		return true
+	}
+	if f.failAfterWrites == 0 {
+		return false
+	}
+	f.failAfterWrites--
+	return true
+}
+
+func (f *FaultFS) readAllowed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.failReads
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	f.mu.Lock()
+	if f.failCreates > 0 {
+		f.failCreates--
+		f.mu.Unlock()
+		return nil, ErrInjected
+	}
+	f.mu.Unlock()
+	file, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+// Open implements FS.
+func (f *FaultFS) Open(name string) (File, error) {
+	file, err := f.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if !f.fs.writeAllowed() {
+		return 0, ErrInjected
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if !f.fs.writeAllowed() {
+		return 0, ErrInjected
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if !f.fs.readAllowed() {
+		return 0, ErrInjected
+	}
+	return f.File.ReadAt(p, off)
+}

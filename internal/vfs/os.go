@@ -1,0 +1,85 @@
+package vfs
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// OSFS implements FS over the operating system's file system. It lets the
+// engine and tools run against real disks; tests and experiments use MemFS.
+type OSFS struct{}
+
+// NewOS returns an OS-backed file system.
+func NewOS() OSFS { return OSFS{} }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, &NotExistError{Name: name}
+		}
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error {
+	err := os.Remove(name)
+	if os.IsNotExist(err) {
+		return &NotExistError{Name: name}
+	}
+	return err
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// List implements FS.
+func (OSFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(filepath.Clean(dir), 0o755) }
+
+// Exists implements FS.
+func (OSFS) Exists(name string) bool {
+	_, err := os.Stat(name)
+	return err == nil
+}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) Write(p []byte) (int, error)              { return o.f.Write(p) }
+func (o osFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+func (o osFile) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
+func (o osFile) Close() error                             { return o.f.Close() }
+func (o osFile) Sync() error                              { return o.f.Sync() }
+func (o osFile) Size() (int64, error) {
+	info, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

@@ -1,0 +1,193 @@
+package vfs
+
+import (
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemFSCreateOpenReadWrite(t *testing.T) {
+	fs := NewMem()
+	f, err := fs.Create("dir/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := fs.Open("dir/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello world" {
+		t.Fatalf("read %q", buf)
+	}
+	if size, _ := g.Size(); size != 11 {
+		t.Fatalf("Size = %d", size)
+	}
+}
+
+func TestMemFSReadAtBounds(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("f")
+	f.Write([]byte("abc"))
+	buf := make([]byte, 2)
+	if n, err := f.ReadAt(buf, 2); n != 1 || err != io.EOF {
+		t.Fatalf("partial read = %d, %v", n, err)
+	}
+	if _, err := f.ReadAt(buf, 10); err != io.EOF {
+		t.Fatalf("past-end read err = %v", err)
+	}
+}
+
+func TestMemFSWriteAtGrows(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("f")
+	if _, err := f.WriteAt([]byte("xy"), 5); err != nil {
+		t.Fatal(err)
+	}
+	if size, _ := f.Size(); size != 7 {
+		t.Fatalf("Size = %d, want 7", size)
+	}
+	buf := make([]byte, 2)
+	if _, err := f.ReadAt(buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "xy" {
+		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestMemFSRenameRemoveExists(t *testing.T) {
+	fs := NewMem()
+	fs.Create("a")
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("a") || !fs.Exists("b") {
+		t.Fatal("rename did not move the file")
+	}
+	if err := fs.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("b") {
+		t.Fatal("remove left the file")
+	}
+	if err := fs.Remove("b"); !IsNotExist(err) {
+		t.Fatalf("second remove err = %v", err)
+	}
+	if _, err := fs.Open("nope"); !IsNotExist(err) {
+		t.Fatalf("open missing err = %v", err)
+	}
+}
+
+func TestMemFSList(t *testing.T) {
+	fs := NewMem()
+	fs.Create("d/b")
+	fs.Create("d/a")
+	fs.Create("other/c")
+	names, err := fs.List("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestCountingFS(t *testing.T) {
+	cfs := NewCounting(NewMem())
+	f, _ := cfs.Create("f")
+	f.Write(make([]byte, 100))
+	g, _ := cfs.Open("f")
+	buf := make([]byte, 40)
+	g.ReadAt(buf, 0)
+	g.ReadAt(buf, 40)
+	s := cfs.Stats.Snapshot()
+	if s.WriteOps != 1 || s.WriteBytes != 100 {
+		t.Fatalf("write stats = %+v", s)
+	}
+	if s.ReadOps != 2 || s.ReadBytes != 80 {
+		t.Fatalf("read stats = %+v", s)
+	}
+	d := cfs.Stats.Snapshot().Sub(s)
+	if d.ReadOps != 0 || d.WriteOps != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestFaultFSWriteInjection(t *testing.T) {
+	ffs := NewFault(NewMem())
+	f, _ := ffs.Create("f")
+	ffs.FailAfterWrites(2)
+	if _, err := f.Write([]byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("3")); err != ErrInjected {
+		t.Fatalf("third write err = %v, want injected", err)
+	}
+	ffs.Reset()
+	if _, err := f.Write([]byte("4")); err != nil {
+		t.Fatalf("write after reset: %v", err)
+	}
+}
+
+func TestFaultFSCreateAndReadInjection(t *testing.T) {
+	ffs := NewFault(NewMem())
+	ffs.FailCreates(1)
+	if _, err := ffs.Create("x"); err != ErrInjected {
+		t.Fatalf("create err = %v", err)
+	}
+	f, err := ffs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("data"))
+	ffs.SetFailReads(true)
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != ErrInjected {
+		t.Fatalf("read err = %v", err)
+	}
+	ffs.SetFailReads(false)
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != nil {
+		t.Fatalf("read after clear: %v", err)
+	}
+}
+
+// TestMemFileWriteReadProperty checks Write/ReadAt agreement over random
+// chunk sequences.
+func TestMemFileWriteReadProperty(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		fs := NewMem()
+		file, _ := fs.Create("f")
+		var all []byte
+		for _, c := range chunks {
+			file.Write(c)
+			all = append(all, c...)
+		}
+		if len(all) == 0 {
+			return true
+		}
+		got := make([]byte, len(all))
+		if _, err := file.ReadAt(got, 0); err != nil && err != io.EOF {
+			return false
+		}
+		return string(got) == string(all)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

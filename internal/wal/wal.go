@@ -1,0 +1,150 @@
+// Package wal implements the write-ahead log. Each write is framed as
+//
+//	crc32(4) length(4) payload
+//
+// where the payload encodes seq, kind, key and value. Replay stops cleanly
+// at the first torn or corrupt frame, so a crash mid-append loses at most
+// the unsynced tail — the standard LSM durability contract.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+
+	"adcache/internal/keys"
+	"adcache/internal/vfs"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("wal: closed")
+
+// Record is one logical write.
+type Record struct {
+	Seq   uint64
+	Kind  keys.Kind
+	Key   []byte
+	Value []byte
+}
+
+// Writer appends records to a log file.
+type Writer struct {
+	f      vfs.File
+	buf    []byte
+	closed bool
+}
+
+// NewWriter wraps f, which should be empty or freshly created.
+func NewWriter(f vfs.File) *Writer { return &Writer{f: f} }
+
+// Append writes one record. It does not sync; call Sync for durability.
+func (w *Writer) Append(rec Record) error {
+	if w.closed {
+		return ErrClosed
+	}
+	payload := w.buf[:0]
+	payload = binary.AppendUvarint(payload, rec.Seq)
+	payload = append(payload, byte(rec.Kind))
+	payload = binary.AppendUvarint(payload, uint64(len(rec.Key)))
+	payload = append(payload, rec.Key...)
+	payload = binary.AppendUvarint(payload, uint64(len(rec.Value)))
+	payload = append(payload, rec.Value...)
+	w.buf = payload
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], crc32.Checksum(payload, crcTable))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.f.Write(payload)
+	return err
+}
+
+// Sync flushes the log to stable storage.
+func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Close syncs and closes the underlying file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// Replay reads all intact records from f in order, invoking fn for each.
+// It returns the highest sequence number seen. Corrupt or truncated tails
+// terminate replay without error.
+func Replay(f vfs.File, fn func(Record) error) (maxSeq uint64, err error) {
+	size, err := f.Size()
+	if err != nil {
+		return 0, err
+	}
+	var off int64
+	var hdr [8]byte
+	for off+8 <= size {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			if err == io.EOF {
+				return maxSeq, nil
+			}
+			return maxSeq, err
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[:4])
+		length := int64(binary.LittleEndian.Uint32(hdr[4:]))
+		if off+8+length > size {
+			return maxSeq, nil // torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := f.ReadAt(payload, off+8); err != nil {
+			return maxSeq, nil
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return maxSeq, nil // corrupt tail
+		}
+		rec, ok := decode(payload)
+		if !ok {
+			return maxSeq, nil
+		}
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		if err := fn(rec); err != nil {
+			return maxSeq, err
+		}
+		off += 8 + length
+	}
+	return maxSeq, nil
+}
+
+func decode(p []byte) (Record, bool) {
+	var rec Record
+	seq, n := binary.Uvarint(p)
+	if n <= 0 || n >= len(p) {
+		return rec, false
+	}
+	rec.Seq = seq
+	p = p[n:]
+	rec.Kind = keys.Kind(p[0])
+	p = p[1:]
+	klen, n := binary.Uvarint(p)
+	if n <= 0 || int(klen) > len(p)-n {
+		return rec, false
+	}
+	p = p[n:]
+	rec.Key = append([]byte(nil), p[:klen]...)
+	p = p[klen:]
+	vlen, n := binary.Uvarint(p)
+	if n <= 0 || int(vlen) > len(p)-n {
+		return rec, false
+	}
+	p = p[n:]
+	rec.Value = append([]byte(nil), p[:vlen]...)
+	return rec, true
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipfian generates ranks in [0, n) with P(rank k) ∝ 1/(k+1)^theta.
+//
+// For theta < 1 it uses the Gray et al. rejection-free formula popularised
+// by YCSB (math/rand's Zipf requires s > 1 and cannot express the paper's
+// 0.9 skew). For theta >= 1 — Figure 9 sweeps skew up to 1.2 — the YCSB
+// formula's domain ends, so an exact cumulative-distribution table with
+// binary-search sampling is used instead.
+type Zipfian struct {
+	n     uint64
+	theta float64
+
+	// Gray et al. state (theta < 1).
+	alpha, zetan, eta float64
+	zeta2             float64
+	halfPowTheta      float64
+
+	// CDF table (theta >= 1).
+	cdf []float64
+}
+
+// NewZipfian returns a generator over [0, n) with skew theta > 0.
+// theta == 1 exactly is nudged to 1.0001 (the harmonic-series edge case).
+func NewZipfian(n uint64, theta float64) *Zipfian {
+	if n == 0 {
+		n = 1
+	}
+	if theta <= 0 {
+		theta = 0.001
+	}
+	if theta == 1 {
+		theta = 1.0001
+	}
+	z := &Zipfian{n: n, theta: theta}
+	if theta > 1 {
+		z.cdf = make([]float64, n)
+		var sum float64
+		for i := uint64(0); i < n; i++ {
+			sum += 1 / math.Pow(float64(i+1), theta)
+			z.cdf[i] = sum
+		}
+		for i := range z.cdf {
+			z.cdf[i] /= sum
+		}
+		return z
+	}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	z.halfPowTheta = 1 + math.Pow(0.5, theta)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next maps a uniform sample u ∈ [0,1) to a Zipfian rank (0 = hottest).
+func (z *Zipfian) Next(u float64) uint64 {
+	if z.cdf != nil {
+		return uint64(sort.SearchFloat64s(z.cdf, u))
+	}
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.halfPowTheta {
+		return 1
+	}
+	rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// N reports the domain size.
+func (z *Zipfian) N() uint64 { return z.n }

@@ -1,0 +1,50 @@
+package adcache_test
+
+import (
+	"fmt"
+	"testing"
+
+	"adcache"
+	"adcache/internal/harness"
+	"adcache/internal/workload"
+)
+
+func TestSmokeAllStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke comparison is slow")
+	}
+	mixes := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"point", workload.MixPointLookup},
+		{"short", workload.MixShortScan},
+		{"balanced", workload.MixBalanced},
+		{"long", workload.MixLongScan},
+	}
+	for _, m := range mixes {
+		fmt.Println("=== mix", m.name)
+		for _, s := range adcache.Strategies() {
+			r, err := harness.NewRunner(harness.Config{
+				NumKeys: 20000, ValueSize: 100, CacheFrac: 0.10, Strategy: s, Seed: 42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Warm(m.mix, 30000); err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run(m.mix, 30000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			extra := ""
+			if ad := r.DB.AdCache(); ad != nil {
+				p := ad.CurrentParams()
+				extra = fmt.Sprintf(" [ratio=%.2f thr=%.4f a=%d b=%.2f win=%d]", p.RangeRatio, p.PointThreshold, p.ScanA, p.ScanB, ad.Windows())
+			}
+			fmt.Printf("  %-20s hit=%.3f reads/op=%.2f qps=%.0f%s\n", res.Strategy, res.HitRate, res.ReadsPerOp(), res.QPS, extra)
+			r.Close()
+		}
+	}
+}
