@@ -200,7 +200,7 @@ func (d *DB) Put(key, value []byte) error {
 
 // Delete removes key.
 func (d *DB) Delete(key []byte) error {
-	d.recordTrace(workload.Op{Kind: workload.OpPut, Key: key})
+	d.recordTrace(workload.Op{Kind: workload.OpDelete, Key: key})
 	return d.inner.Delete(key)
 }
 
@@ -219,6 +219,11 @@ func (d *DB) Scan(start []byte, n int) ([]lsm.KV, error) {
 // ScanRange returns up to limit live pairs with start <= key < end (nil end
 // means unbounded above; limit <= 0 means bounded by end only).
 func (d *DB) ScanRange(start, end []byte, limit int) ([]lsm.KV, error) {
+	scanLen := limit
+	if scanLen < 0 {
+		scanLen = 0 // bounded by end only
+	}
+	d.recordTrace(workload.Op{Kind: workload.OpScanRange, Key: start, End: end, ScanLen: scanLen})
 	return d.inner.ScanRange(start, end, limit)
 }
 

@@ -1,0 +1,46 @@
+package blockcache
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// benchParallel measures shard contention on the block cache: at least four
+// goroutines (SetParallelism(4) gives 4×GOMAXPROCS workers) running a
+// read-mostly block workload. numShards=1 approximates a single-lock cache;
+// numShards=0 selects the default shard count.
+func benchParallel(b *testing.B, numShards int) {
+	var c *Cache
+	if numShards == 0 {
+		c = New(16 << 20)
+	} else {
+		c = NewShards(16<<20, numShards)
+	}
+	const files, blocks = 8, 256
+	data := make([]byte, 4096)
+	for f := uint64(0); f < files; f++ {
+		for off := uint64(0); off < blocks; off++ {
+			c.Insert(f, off*4096, data, false)
+		}
+	}
+	var seed atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			f := uint64(rng.Intn(files))
+			off := uint64(rng.Intn(blocks)) * 4096
+			if rng.Intn(100) < 10 {
+				c.Insert(f, off, data, false)
+			} else {
+				c.Get(f, off)
+			}
+		}
+	})
+}
+
+func BenchmarkParallelSharded(b *testing.B) { benchParallel(b, 0) }
+
+func BenchmarkParallelSingleShard(b *testing.B) { benchParallel(b, 1) }

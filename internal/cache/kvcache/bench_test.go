@@ -1,0 +1,75 @@
+package kvcache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func benchKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%08d", i))
+	}
+	return keys
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New(16 << 20)
+	keys := benchKeys(10_000)
+	v := make([]byte, 100)
+	for _, k := range keys {
+		c.Put(k, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkPutEvict(b *testing.B) {
+	c := New(1 << 20) // small enough to evict constantly
+	keys := benchKeys(10_000)
+	v := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(keys[i%len(keys)], v)
+	}
+}
+
+// benchParallel measures shard contention: many goroutines (at least four —
+// SetParallelism(4) gives 4×GOMAXPROCS workers) hammering a mixed Get/Put
+// workload. numShards=0 selects the adaptive shard count (16 at this
+// capacity); numShards=1 approximates the pre-sharding single-lock cache.
+func benchParallel(b *testing.B, numShards int) {
+	var c *Cache
+	if numShards == 0 {
+		c = New(16 << 20)
+	} else {
+		c = NewShards(16<<20, numShards)
+	}
+	keys := benchKeys(10_000)
+	v := make([]byte, 100)
+	for _, k := range keys {
+		c.Put(k, v)
+	}
+	var seed atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			k := keys[rng.Intn(len(keys))]
+			if rng.Intn(100) < 25 {
+				c.Put(k, v)
+			} else {
+				c.Get(k)
+			}
+		}
+	})
+}
+
+func BenchmarkParallelSharded(b *testing.B) { benchParallel(b, 0) }
+
+func BenchmarkParallelSingleShard(b *testing.B) { benchParallel(b, 1) }

@@ -6,18 +6,35 @@ package kvcache
 
 import (
 	"container/list"
+	"hash/maphash"
 	"sync"
+	"sync/atomic"
 )
 
-// Cache is an LRU key-value cache. It is safe for concurrent use.
+// DefaultShards balances lock contention against shard-budget fragmentation,
+// matching the block cache's shard ceiling.
+const DefaultShards = 16
+
+// Cache is a sharded LRU key-value cache. It is safe for concurrent use:
+// each shard has its own mutex, so point lookups on different shards never
+// contend.
 type Cache struct {
+	shards []*shard
+	mask   uint64
+	seed   maphash.Seed
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
-	ll       *list.List
+	ll       *list.List // front = most recent
 	items    map[string]*list.Element
-
-	hits, misses, evictions int64
+	owner    *Cache
 }
 
 type entry struct {
@@ -32,77 +49,122 @@ const entryOverhead = 64
 
 func (e *entry) size() int64 { return int64(len(e.key)+len(e.value)) + entryOverhead }
 
-// New returns a cache with the given byte capacity.
+// New returns a cache with the given byte capacity. The shard count adapts
+// to the budget (one shard per 64 KiB, capped at DefaultShards), so small
+// caches stay single-sharded and keep exact global LRU order.
 func New(capacity int64) *Cache {
-	return &Cache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+	shards := int(capacity / (64 << 10))
+	if shards > DefaultShards {
+		shards = DefaultShards
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return NewShards(capacity, shards)
+}
+
+// NewShards returns a cache with an explicit power-of-two shard count.
+func NewShards(capacity int64, numShards int) *Cache {
+	if numShards < 1 {
+		numShards = 1
+	}
+	// Round up to a power of two for mask indexing.
+	n := 1
+	for n < numShards {
+		n *= 2
+	}
+	c := &Cache{shards: make([]*shard, n), mask: uint64(n - 1), seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			capacity: capacity / int64(n),
+			ll:       list.New(),
+			items:    make(map[string]*list.Element),
+			owner:    c,
+		}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key []byte) *shard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	return c.shards[maphash.Bytes(c.seed, key)&c.mask]
 }
 
 // Get returns the cached value for key.
 func (c *Cache) Get(key []byte) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.items[string(key)]; ok {
-		c.ll.MoveToFront(e)
-		c.hits++
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[string(key)]; ok {
+		s.ll.MoveToFront(e)
+		c.hits.Add(1)
 		return e.Value.(*entry).value, true
 	}
-	c.misses++
+	c.misses.Add(1)
 	return nil, false
 }
 
 // Put inserts or updates key.
 func (c *Cache) Put(key, value []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	k := string(key)
-	if e, ok := c.items[k]; ok {
+	if e, ok := s.items[k]; ok {
 		old := e.Value.(*entry)
-		c.used += int64(len(value)) - int64(len(old.value))
+		s.used += int64(len(value)) - int64(len(old.value))
 		old.value = value
-		c.ll.MoveToFront(e)
+		s.ll.MoveToFront(e)
 	} else {
 		e := &entry{key: k, value: value}
-		if e.size() > c.capacity {
+		if e.size() > s.capacity {
 			return
 		}
-		c.items[k] = c.ll.PushFront(e)
-		c.used += e.size()
+		s.items[k] = s.ll.PushFront(e)
+		s.used += e.size()
 	}
-	c.evictLocked()
+	s.evictLocked()
 }
 
 // Invalidate removes key (writes and deletes).
 func (c *Cache) Invalidate(key []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.items[string(key)]; ok {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[string(key)]; ok {
 		ent := e.Value.(*entry)
-		c.used -= ent.size()
-		c.ll.Remove(e)
-		delete(c.items, ent.key)
+		s.used -= ent.size()
+		s.ll.Remove(e)
+		delete(s.items, ent.key)
 	}
 }
 
-func (c *Cache) evictLocked() {
-	for c.used > c.capacity {
-		back := c.ll.Back()
+func (s *shard) evictLocked() {
+	for s.used > s.capacity {
+		back := s.ll.Back()
 		if back == nil {
 			return
 		}
 		ent := back.Value.(*entry)
-		c.ll.Remove(back)
-		delete(c.items, ent.key)
-		c.used -= ent.size()
-		c.evictions++
+		s.ll.Remove(back)
+		delete(s.items, ent.key)
+		s.used -= ent.size()
+		s.owner.evictions.Add(1)
 	}
 }
 
-// Resize changes the byte capacity.
+// Resize changes the total byte capacity, splitting it evenly across the
+// existing shards and evicting as needed.
 func (c *Cache) Resize(capacity int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.capacity = capacity
-	c.evictLocked()
+	per := capacity / int64(len(c.shards))
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.capacity = per
+		s.evictLocked()
+		s.mu.Unlock()
+	}
 }
 
 // Stats reports counters.
@@ -114,17 +176,28 @@ type Stats struct {
 
 // Stats returns a snapshot of counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		Used: c.used, Capacity: c.capacity, Entries: len(c.items),
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
 	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Used += s.used
+		st.Capacity += s.capacity
+		st.Entries += len(s.items)
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // Len reports the entry count.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.items)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
 }

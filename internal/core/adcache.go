@@ -237,6 +237,15 @@ func (a *AdCache) Range() *rangecache.Cache    { return a.rng }
 func (a *AdCache) Collector() *stats.Collector { return a.collector }
 
 // countOp advances the window clock and pokes the tuner at boundaries.
+//
+// Under concurrent traffic the callbacks invoking this run simultaneously
+// (reads share the engine's read lock), so the window counter is atomic and
+// exactly one goroutine observes each boundary. In SyncTuning mode that
+// goroutine runs the control step inline under tuneMu while its peers keep
+// serving — resizes are safe mid-flight because both component caches are
+// sharded and internally synchronised. Deterministic windows additionally
+// require a single-threaded op stream (and lsm.Options.InlineCompaction),
+// which is how the experiment harness runs.
 func (a *AdCache) countOp() {
 	n := a.opCount.Add(1)
 	if n%int64(a.cfg.WindowSize) != 0 {

@@ -134,6 +134,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 	lsmOpts.MemTableSize = 256 << 10
 	lsmOpts.L1TargetSize = 512 << 10
 	lsmOpts.PrefetchOnCompaction = cfg.PrefetchOnCompaction
+	// Deterministic experiments flush and compact inline on the writer's
+	// goroutine, so every flush point is a pure function of the op stream;
+	// AsyncTuning runs opt into the production background write path.
+	lsmOpts.InlineCompaction = !cfg.AsyncTuning
 	loadDB, err := adcache.Open(adcache.Options{
 		FS: fs, Strategy: adcache.StrategyNone, LSM: &lsmOpts,
 	})

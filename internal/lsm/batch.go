@@ -2,7 +2,6 @@ package lsm
 
 import (
 	"adcache/internal/keys"
-	"adcache/internal/wal"
 )
 
 // Batch accumulates writes to be applied atomically: either every operation
@@ -47,44 +46,14 @@ func (b *Batch) Len() int { return len(b.ops) }
 // Reset clears the batch for reuse.
 func (b *Batch) Reset() { b.ops = b.ops[:0] }
 
-// Apply commits the batch. The batch may be Reset and reused afterwards.
+// Apply commits the batch through the group-commit pipeline: the batch's
+// operations receive consecutive sequence numbers within whichever write
+// group commits them. The batch may be Reset and reused afterwards.
 func (d *DB) Apply(b *Batch) error {
 	if len(b.ops) == 0 {
 		return nil
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
-		return ErrClosed
-	}
-	if n := len(d.version.Levels[0]); n >= d.opts.L0StopTrigger {
-		d.stallStops++
-	} else if n >= d.opts.L0CompactTrigger {
-		d.stallSlowdowns++
-	}
-
-	// WAL first: all records land before any becomes visible in the
-	// memtable, so a crash between records replays a prefix whose
-	// operations are individually intact; visibility is all-or-nothing
-	// because the memtable inserts below happen after every append
-	// succeeded.
-	startSeq := d.lastSeq + 1
-	for i, op := range b.ops {
-		rec := wal.Record{Seq: startSeq + uint64(i), Kind: op.kind, Key: op.key, Value: op.value}
-		if err := d.log.Append(rec); err != nil {
-			return err
-		}
-	}
-	d.lastSeq += uint64(len(b.ops))
-
-	for i, op := range b.ops {
-		d.mem.Set(keys.Make(op.key, startSeq+uint64(i), op.kind), op.value)
-		d.userBytes += int64(len(op.key) + len(op.value))
-		d.strategy.OnWrite(op.key, op.value, op.kind == keys.KindDelete)
-	}
-
-	if d.mem.ApproximateSize() >= d.opts.MemTableSize {
-		return d.flushLocked()
-	}
-	return nil
+	// The pipeline retains ops until the group commits; copy the slice
+	// header's backing so Reset-and-refill cannot race a slow group.
+	return d.commit(append([]batchOp(nil), b.ops...))
 }

@@ -10,22 +10,31 @@ import (
 	"adcache/internal/sstable"
 )
 
-// maybeCompactLocked runs compactions until the tree satisfies its shape
-// invariants. Caller holds d.mu.
-func (d *DB) maybeCompactLocked() error {
+// compactLoop runs compactions until the tree satisfies its shape
+// invariants. Caller holds compactMu — the only lock under which versions
+// change — so the version read for each pick stays valid until its install.
+func (d *DB) compactLoop() error {
 	for {
-		plan := compaction.Pick(d.version, d.pickerConfig(), d.roundRobin)
+		d.mu.RLock()
+		v := d.version
+		d.mu.RUnlock()
+		plan := compaction.Pick(v, d.pickerConfig(), d.roundRobin)
 		if plan == nil {
 			return nil
 		}
-		if err := d.runCompactionLocked(plan); err != nil {
+		if err := d.runCompaction(plan); err != nil {
 			return err
 		}
 	}
 }
 
-// runCompactionLocked merges plan's inputs into the output level.
-func (d *DB) runCompactionLocked(plan *compaction.Plan) error {
+// runCompaction merges plan's inputs into the output level. The merge and
+// the output writes run without d.mu — reads and write groups proceed
+// concurrently — and only the version install takes the exclusive lock.
+// Input files cannot disappear mid-merge: they belong to the current
+// version, version changes are serialised by compactMu (held here), and the
+// version GC only deletes files referenced by no live version.
+func (d *DB) runCompaction(plan *compaction.Plan) error {
 	inputs := plan.Files()
 	iters := make([]internalIterator, 0, len(inputs))
 	for _, f := range inputs {
@@ -51,6 +60,7 @@ func (d *DB) runCompactionLocked(plan *compaction.Plan) error {
 
 	// Install the new version. Obsolete input files are deleted by the
 	// version GC once no in-flight read pins them.
+	d.mu.Lock()
 	nv := d.version.Clone()
 	removeFiles(nv, plan.InputLevel, plan.Inputs)
 	removeFiles(nv, plan.OutputLevel, plan.Overlaps)
@@ -66,17 +76,23 @@ func (d *DB) runCompactionLocked(plan *compaction.Plan) error {
 	}
 	d.installVersion(nv, oldNums)
 	d.compactions++
-	if err := d.saveManifest(); err != nil {
-		return err
-	}
-
-	// Notify the strategy: this is the moment block-cache entries keyed by
-	// the old files become dead weight.
 	newNums := make([]uint64, 0, len(outputs))
 	for _, f := range outputs {
 		newNums = append(newNums, f.FileNum)
 		d.compactionOut += int64(f.Size)
 	}
+	saveErr := d.saveManifestLocked()
+	// L0 may have shrunk below the stop trigger: wake stalled writers.
+	d.bgCond.Broadcast()
+	d.mu.Unlock()
+	if saveErr != nil {
+		return saveErr
+	}
+
+	// Notify the strategy: this is the moment block-cache entries keyed by
+	// the old files become dead weight. Outside d.mu — the callback only
+	// touches its own (thread-safe) caches, and holding the exclusive lock
+	// here would stall readers behind cache eviction.
 	d.strategy.OnCompaction(oldNums, newNums)
 
 	if d.opts.PrefetchOnCompaction > 0 && d.strategy.BlockCache() != nil {
@@ -118,7 +134,7 @@ func (d *DB) prefetchOutputs(outputs []*manifest.FileMeta) error {
 
 // writeCompactionOutputs streams merged into output tables, dropping
 // shadowed versions and — when compacting into the deepest data level —
-// tombstones.
+// tombstones. Runs without d.mu.
 func (d *DB) writeCompactionOutputs(merged *mergingIter, lastLevel bool) ([]*manifest.FileMeta, error) {
 	var outputs []*manifest.FileMeta
 	var w *sstable.Writer
@@ -155,18 +171,17 @@ func (d *DB) writeCompactionOutputs(merged *mergingIter, lastLevel bool) ([]*man
 		uk := ik.UserKey()
 		if lastUser != nil && bytes.Equal(uk, lastUser) {
 			// Shadowed older version.
-			d.obsoleteEntries++
+			d.obsoleteEntries.Add(1)
 			continue
 		}
 		lastUser = append(lastUser[:0], uk...)
 		if lastLevel && ik.Kind() == keys.KindDelete {
 			// Tombstone reaching the deepest data level: drop it.
-			d.obsoleteEntries++
+			d.obsoleteEntries.Add(1)
 			continue
 		}
 		if w == nil {
-			fileNum = d.nextFileNum
-			d.nextFileNum++
+			fileNum = d.nextFileNum.Add(1) - 1
 			file, err := d.fs.Create(sstPath(d.opts.Dir, fileNum))
 			if err != nil {
 				return nil, err

@@ -28,8 +28,27 @@ import (
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = errors.New("lsm: database closed")
 
+// immTable is a sealed (immutable) memtable queued for background flush,
+// paired with the WAL that made it durable. The WAL file is deleted only
+// after the memtable's SSTable is installed in a persisted version, so a
+// crash at any point between seal and flush recovers every write.
+type immTable struct {
+	mem    *memtable.MemTable
+	walNum uint64
+}
+
 // DB is an LSM-tree key-value store. It is safe for concurrent use by
-// multiple goroutines; writes are serialised internally.
+// multiple goroutines. Concurrent writers coalesce into write groups — one
+// WAL append run and one memtable apply per group (RocksDB-style group
+// commit). Full memtables are sealed onto an immutable queue and flushed,
+// then compacted, by a background worker; the paper's L0 slowdown/stop
+// triggers act as real write backpressure (delaying or blocking writers)
+// rather than as inline compaction latency. Options.InlineCompaction
+// restores the synchronous pre-concurrency behaviour for deterministic
+// experiments.
+//
+// Lock ordering: commitMu → compactMu → mu → verMu. A goroutine may only
+// acquire a lock that is to the right of every lock it already holds.
 type DB struct {
 	opts     Options
 	fs       *vfs.CountingFS
@@ -37,21 +56,53 @@ type DB struct {
 	store    *manifest.Store
 	tc       *tableCache
 
+	// commitMu serialises write groups: its holder is the group leader and
+	// the only goroutine touching the WAL writer and seqAlloc.
+	commitMu sync.Mutex
+	seqAlloc uint64 // last allocated sequence; advances even when a group fails
+
+	// pendMu guards the queue of writers waiting to be committed; the next
+	// leader drains the whole queue into a single group.
+	pendMu  sync.Mutex
+	pending []*commitWaiter
+
+	// compactMu serialises version-changing background work — memtable
+	// flushes and compactions — between the background worker and the
+	// foreground Flush/Compact barriers. roundRobin (the compaction
+	// cursor, mutated by the picker) is guarded by it.
+	compactMu  sync.Mutex
+	roundRobin map[int][]byte
+
 	mu      sync.RWMutex
 	mem     *memtable.MemTable
+	imm     []*immTable       // sealed memtables awaiting flush, oldest first
 	version *manifest.Version // latest version; mutations under mu
-	lastSeq uint64
+	lastSeq uint64            // published only after the group's memtable apply
+	bgErr   error             // sticky background flush/compaction error
+	closed  bool
+
+	// bgCond (on mu) wakes stalled writers when the background worker
+	// retires an immutable memtable or shrinks L0.
+	bgCond *sync.Cond
+
+	// closing flips before Close takes any lock, so stalled writers and
+	// new operations bail out promptly instead of racing the teardown.
+	closing atomic.Bool
+
+	// Background worker lifecycle (nil / unused with InlineCompaction).
+	bgWork chan struct{}
+	quit   chan struct{}
+	wg     sync.WaitGroup
 
 	// Version pinning (see version_ref.go).
-	verMu       sync.Mutex
-	current     *versionHandle
-	live        map[*versionHandle]struct{}
-	zombies     map[uint64]bool
-	nextFileNum uint64
-	walNum      uint64
+	verMu   sync.Mutex
+	current *versionHandle
+	live    map[*versionHandle]struct{}
+	zombies map[uint64]bool
+
+	nextFileNum atomic.Uint64
+	walNum      uint64 // active log; written under commitMu+mu, read under either
 	log         *wal.Writer
-	roundRobin  map[int][]byte
-	closed      bool
 
 	// shapeInfo is a lock-free snapshot of tree-shape figures, refreshed on
 	// every version install. Cache strategies read it from inside engine
@@ -64,17 +115,21 @@ type DB struct {
 	queryBlockReads atomic.Int64
 	queryBlockHits  atomic.Int64
 
+	// obsoleteEntries is bumped by compactions dropping shadowed versions
+	// and tombstones; atomic because compaction merges run outside mu.
+	obsoleteEntries atomic.Int64
+
 	// Counters (guarded by mu).
-	flushes         int64
-	compactions     int64
-	stallSlowdowns  int64
-	stallStops      int64
-	memSeed         int64
-	compactedBytes  int64 // bytes read as compaction inputs
-	compactionOut   int64 // bytes written as compaction outputs
-	flushedBytes    int64
-	userBytes       int64
-	obsoleteEntries int64
+	flushes        int64
+	compactions    int64
+	stallSlowdowns int64
+	stallStops     int64
+	writeGroups    int64
+	memSeed        int64
+	compactedBytes int64 // bytes read as compaction inputs
+	compactionOut  int64 // bytes written as compaction outputs
+	flushedBytes   int64
+	userBytes      int64
 }
 
 // Open opens (creating if necessary) the database described by opts.
@@ -96,8 +151,9 @@ func Open(opts Options) (*DB, error) {
 		roundRobin: make(map[int][]byte),
 		memSeed:    opts.Seed,
 	}
+	db.bgCond = sync.NewCond(&db.mu)
 	db.tc = newTableCache(fs, opts.Dir, strategy.BlockCache())
-	db.mem = memtable.New(db.nextMemSeed())
+	db.mem = memtable.New(db.nextMemSeedLocked())
 	db.live = make(map[*versionHandle]struct{})
 	db.zombies = make(map[uint64]bool)
 
@@ -105,133 +161,125 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	var oldWALs []uint64
 	if found {
 		db.installVersion(st.Version, nil)
 		db.lastSeq = st.LastSeq
-		db.nextFileNum = st.NextFileNum
-		db.walNum = st.WALNum
-		if err := db.replayWAL(); err != nil {
+		db.nextFileNum.Store(st.NextFileNum)
+		oldWALs = st.WALNums
+		if err := db.replayWALs(oldWALs); err != nil {
 			return nil, err
 		}
 	} else {
 		db.installVersion(manifest.NewVersion(opts.NumLevels), nil)
-		db.nextFileNum = 1
+		db.nextFileNum.Store(1)
 	}
-	if err := db.rotateWAL(); err != nil {
+	if err := db.startWAL(oldWALs); err != nil {
 		return nil, err
+	}
+	db.seqAlloc = db.lastSeq
+	if !opts.InlineCompaction {
+		db.bgWork = make(chan struct{}, 1)
+		db.quit = make(chan struct{})
+		db.wg.Add(1)
+		go db.flushWorker()
 	}
 	return db, nil
 }
 
-func (d *DB) nextMemSeed() int64 {
+// nextMemSeedLocked returns the next deterministic skiplist seed.
+// Caller holds d.mu (or is single-threaded during Open).
+func (d *DB) nextMemSeedLocked() int64 {
 	d.memSeed++
 	return d.memSeed
 }
 
-func (d *DB) replayWAL() error {
-	if d.walNum == 0 {
-		return nil
-	}
-	path := walPath(d.opts.Dir, d.walNum)
-	if !d.fs.Exists(path) {
-		return nil
-	}
-	f, err := d.fs.Open(path)
-	if err != nil {
-		return err
-	}
-	maxSeq, err := wal.Replay(f, func(rec wal.Record) error {
-		d.mem.Set(keys.Make(rec.Key, rec.Seq, rec.Kind), rec.Value)
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	if maxSeq > d.lastSeq {
-		d.lastSeq = maxSeq
+// replayWALs rebuilds the memtable from every live log, oldest first: the
+// logs of sealed-but-unflushed memtables, then the active log at the crash.
+func (d *DB) replayWALs(nums []uint64) error {
+	for _, num := range nums {
+		if num == 0 {
+			continue
+		}
+		path := walPath(d.opts.Dir, num)
+		if !d.fs.Exists(path) {
+			continue
+		}
+		f, err := d.fs.Open(path)
+		if err != nil {
+			return err
+		}
+		maxSeq, err := wal.Replay(f, func(rec wal.Record) error {
+			d.mem.Set(keys.Make(rec.Key, rec.Seq, rec.Kind), rec.Value)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if maxSeq > d.lastSeq {
+			d.lastSeq = maxSeq
+		}
 	}
 	return nil
 }
 
-// rotateWAL starts a fresh log and removes the previous one. Caller holds no
-// lock (during Open) or the write lock (during flush).
-func (d *DB) rotateWAL() error {
-	oldNum := d.walNum
-	d.walNum = d.nextFileNum
-	d.nextFileNum++
-	f, err := d.fs.Create(walPath(d.opts.Dir, d.walNum))
+// startWAL opens a fresh active log during Open and retires the replayed
+// ones. Single-threaded (no other goroutine exists yet).
+func (d *DB) startWAL(oldNums []uint64) error {
+	num := d.nextFileNum.Add(1) - 1
+	f, err := d.fs.Create(walPath(d.opts.Dir, num))
 	if err != nil {
 		return err
 	}
-	if d.log != nil {
-		if err := d.log.Close(); err != nil {
-			return err
-		}
-	}
+	d.walNum = num
 	d.log = wal.NewWriter(f)
-	if err := d.saveManifest(); err != nil {
+	if err := d.saveManifestLocked(); err != nil {
 		return err
 	}
-	if oldNum != 0 && d.fs.Exists(walPath(d.opts.Dir, oldNum)) {
-		if err := d.fs.Remove(walPath(d.opts.Dir, oldNum)); err != nil {
+	for _, old := range oldNums {
+		if old == 0 || old == num || !d.fs.Exists(walPath(d.opts.Dir, old)) {
+			continue
+		}
+		if err := d.fs.Remove(walPath(d.opts.Dir, old)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (d *DB) saveManifest() error {
+// saveManifestLocked persists the current state. The manifest lists every
+// live log oldest-first (one per queued immutable memtable, then the active
+// log) so recovery can replay all of them in order. Caller holds d.mu.
+func (d *DB) saveManifestLocked() error {
+	walNums := make([]uint64, 0, len(d.imm)+1)
+	for _, im := range d.imm {
+		walNums = append(walNums, im.walNum)
+	}
+	walNums = append(walNums, d.walNum)
 	return d.store.Save(manifest.State{
-		NextFileNum: d.nextFileNum,
+		NextFileNum: d.nextFileNum.Load(),
 		LastSeq:     d.lastSeq,
 		WALNum:      d.walNum,
+		WALNums:     walNums,
 		Version:     d.version,
 	})
 }
 
 // Put stores key=value.
 func (d *DB) Put(key, value []byte) error {
-	return d.write(key, value, keys.KindSet)
+	return d.commit([]batchOp{{
+		kind:  keys.KindSet,
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	}})
 }
 
 // Delete removes key.
 func (d *DB) Delete(key []byte) error {
-	return d.write(key, nil, keys.KindDelete)
-}
-
-func (d *DB) write(key, value []byte, kind keys.Kind) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
-		return ErrClosed
-	}
-	// Stall accounting mirrors the paper's RocksDB configuration (slowdown
-	// at L0CompactTrigger, stop at L0StopTrigger). Compaction runs inline,
-	// so the stall manifests as compaction latency in this write.
-	if n := len(d.version.Levels[0]); n >= d.opts.L0StopTrigger {
-		d.stallStops++
-	} else if n >= d.opts.L0CompactTrigger {
-		d.stallSlowdowns++
-	}
-
-	d.lastSeq++
-	seq := d.lastSeq
-	if err := d.log.Append(wal.Record{Seq: seq, Kind: kind, Key: key, Value: value}); err != nil {
-		return err
-	}
-	keyCopy := append([]byte(nil), key...)
-	valCopy := append([]byte(nil), value...)
-	d.mem.Set(keys.Make(keyCopy, seq, kind), valCopy)
-	d.userBytes += int64(len(key) + len(value))
-
-	d.strategy.OnWrite(keyCopy, valCopy, kind == keys.KindDelete)
-
-	if d.mem.ApproximateSize() >= d.opts.MemTableSize {
-		if err := d.flushLocked(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return d.commit([]batchOp{{
+		kind: keys.KindDelete,
+		key:  append([]byte(nil), key...),
+	}})
 }
 
 // Get returns the value for key, following the paper's query-handling path:
@@ -252,12 +300,13 @@ func (d *DB) Get(key []byte) ([]byte, bool, error) {
 		return nil, false, ErrClosed
 	}
 	mem := d.mem
+	imm := d.imm
 	h := d.acquireVersion()
 	seq := d.lastSeq
 	defer d.releaseVersion(h)
 	version := h.v
 
-	// 2. MemTable.
+	// 2. MemTable, then sealed memtables newest-first.
 	if v, deleted, ok := mem.Get(key, seq); ok {
 		if deleted {
 			return nil, false, nil
@@ -265,6 +314,14 @@ func (d *DB) Get(key []byte) ([]byte, bool, error) {
 		// Served from memory: no disk involved, nothing to admit (the
 		// cache-fill path only captures disk-served results, Figure 5).
 		return v, true, nil
+	}
+	for i := len(imm) - 1; i >= 0; i-- {
+		if v, deleted, ok := imm[i].mem.Get(key, seq); ok {
+			if deleted {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
 	}
 
 	// 3. SSTables through the block cache.
@@ -386,6 +443,7 @@ func (d *DB) scan(start, end []byte, n int) ([]KV, error) {
 		return nil, ErrClosed
 	}
 	mem := d.mem
+	imm := d.imm
 	h := d.acquireVersion()
 	seq := d.lastSeq
 	defer d.releaseVersion(h)
@@ -397,6 +455,9 @@ func (d *DB) scan(start, end []byte, n int) ([]KV, error) {
 		stats.ScanFillBudget = quota
 	}
 	iters := []internalIterator{mem.NewIter()}
+	for i := len(imm) - 1; i >= 0; i-- {
+		iters = append(iters, imm[i].mem.NewIter())
+	}
 	for _, f := range version.Levels[0] {
 		if string(f.Largest.UserKey()) < string(start) {
 			continue
@@ -467,38 +528,85 @@ func (d *DB) QueryBlockReads() int64 { return d.queryBlockReads.Load() }
 // QueryBlockHits reports cumulative block-cache hits on the query path.
 func (d *DB) QueryBlockHits() int64 { return d.queryBlockHits.Load() }
 
-// Flush forces the memtable to disk.
+// Flush persists every write accepted so far: it seals the active memtable
+// and synchronously drains the immutable queue (plus any triggered
+// compactions). It is a full barrier with respect to writes that completed
+// before the call; writes racing Flush may or may not be included.
 func (d *DB) Flush() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	if d.closing.Load() {
 		return ErrClosed
 	}
-	return d.flushLocked()
+	d.commitMu.Lock()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		d.commitMu.Unlock()
+		return ErrClosed
+	}
+	hadWork := !d.mem.Empty() || len(d.imm) > 0
+	var err error
+	if hadWork {
+		err = d.sealMemTableLocked()
+	}
+	d.mu.Unlock()
+	d.commitMu.Unlock()
+	if err != nil || !hadWork {
+		return err
+	}
+	if err := d.drainAndCompact(!d.opts.DisableAutoCompaction); err != nil {
+		return err
+	}
+	// A successful synchronous flush supersedes any sticky background
+	// failure: the queue is drained and the tree is consistent again.
+	d.mu.Lock()
+	d.bgErr = nil
+	d.mu.Unlock()
+	return nil
 }
 
-// Compact forces compactions until the tree satisfies its shape invariants.
+// Compact drains pending flushes and runs compactions until the tree
+// satisfies its shape invariants.
 func (d *DB) Compact() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	if d.closing.Load() {
 		return ErrClosed
 	}
-	return d.maybeCompactLocked()
+	return d.drainAndCompact(true)
 }
 
-// Close flushes state and closes the DB.
+// Close stops background work, closes the log and persists the manifest.
+// Sealed-but-unflushed memtables are not flushed; their WALs stay on disk
+// and are replayed on the next Open. Close is idempotent, and writes racing
+// Close either commit fully or return ErrClosed.
 func (d *DB) Close() error {
+	d.closing.Store(true)
+	// Wake writers stalled on backpressure so they can observe closing and
+	// release commitMu.
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.bgCond.Broadcast()
+	d.mu.Unlock()
+
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
+	d.mu.Lock()
 	if d.closed {
+		d.mu.Unlock()
 		return nil
 	}
 	d.closed = true
+	d.bgCond.Broadcast()
+	d.mu.Unlock()
+
+	if d.quit != nil {
+		close(d.quit)
+		d.wg.Wait()
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.log.Close(); err != nil {
 		return err
 	}
-	return d.saveManifest()
+	return d.saveManifestLocked()
 }
 
 // IOStats returns cumulative file I/O counters; ReadOps equals the paper's
@@ -516,10 +624,12 @@ type Metrics struct {
 	TotalBytes         uint64
 	MemTableEntries    int
 	MemTableBytes      int64
+	ImmMemTables       int
 	Flushes            int64
 	Compactions        int64
 	StallSlowdowns     int64
 	StallStops         int64
+	WriteGroups        int64
 	CompactedBytes     int64
 	CompactionOutBytes int64
 	FlushedBytes       int64
@@ -549,10 +659,12 @@ func (d *DB) Metrics() Metrics {
 		SortedRuns:         d.version.NumSortedRuns(),
 		MemTableEntries:    d.mem.Count(),
 		MemTableBytes:      d.mem.ApproximateSize(),
+		ImmMemTables:       len(d.imm),
 		Flushes:            d.flushes,
 		Compactions:        d.compactions,
 		StallSlowdowns:     d.stallSlowdowns,
 		StallStops:         d.stallStops,
+		WriteGroups:        d.writeGroups,
 		CompactedBytes:     d.compactedBytes,
 		CompactionOutBytes: d.compactionOut,
 		FlushedBytes:       d.flushedBytes,

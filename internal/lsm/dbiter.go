@@ -28,12 +28,16 @@ func (d *DB) NewIter() (*Iterator, error) {
 		return nil, ErrClosed
 	}
 	mem := d.mem
+	imm := d.imm
 	h := d.acquireVersion()
 	seq := d.lastSeq
 	d.mu.RUnlock()
 
 	it := &Iterator{db: d, handle: h}
 	iters := []internalIterator{mem.NewIter()}
+	for i := len(imm) - 1; i >= 0; i-- {
+		iters = append(iters, imm[i].mem.NewIter())
+	}
 	for _, f := range h.v.Levels[0] {
 		r, err := d.tc.get(f.FileNum)
 		if err != nil {

@@ -7,42 +7,137 @@ import (
 	"adcache/internal/sstable"
 )
 
-// flushLocked writes the memtable to a new L0 table and rotates the WAL.
-// Flush and any triggered compactions run inline on the writer's goroutine,
-// which is how the L0 slowdown/stop triggers manifest as write stalls.
-// Caller holds d.mu.
-func (d *DB) flushLocked() error {
-	if d.mem.Empty() {
+// flushWorker is the background flush/compaction goroutine (absent with
+// Options.InlineCompaction). Each wake-up drains the immutable-memtable
+// queue, compacting after every flush so L0 never accumulates past its
+// trigger between flushes — the stall triggers then only fire when writers
+// genuinely outpace this worker.
+func (d *DB) flushWorker() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case <-d.bgWork:
+		}
+		for {
+			select {
+			case <-d.quit:
+				return
+			default:
+			}
+			d.mu.RLock()
+			hasImm := len(d.imm) > 0
+			broken := d.bgErr != nil
+			d.mu.RUnlock()
+			if !hasImm || broken {
+				break
+			}
+			d.compactMu.Lock()
+			err := d.flushImm()
+			if err == nil && !d.opts.DisableAutoCompaction {
+				err = d.compactLoop()
+			}
+			d.compactMu.Unlock()
+			if err != nil {
+				// Record the failure and wake stalled writers so they
+				// surface it instead of blocking forever. A later
+				// successful foreground Flush clears it.
+				d.mu.Lock()
+				d.bgErr = err
+				d.bgCond.Broadcast()
+				d.mu.Unlock()
+				break
+			}
+		}
+	}
+}
+
+// drainAndCompact synchronously flushes every queued immutable memtable and
+// (optionally) compacts until the tree satisfies its shape invariants. It is
+// the foreground counterpart of the worker's inner loop, used by Flush,
+// Compact and the inline-compaction write path.
+func (d *DB) drainAndCompact(compact bool) error {
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	for {
+		d.mu.RLock()
+		n := len(d.imm)
+		d.mu.RUnlock()
+		if n == 0 {
+			break
+		}
+		if err := d.flushImm(); err != nil {
+			return err
+		}
+		// Compact between flushes, like the worker, so a queued backlog
+		// can never push L0 past its stop trigger.
+		if compact {
+			if err := d.compactLoop(); err != nil {
+				return err
+			}
+		}
+	}
+	if compact {
+		return d.compactLoop()
+	}
+	return nil
+}
+
+// flushImm writes the oldest immutable memtable to a new L0 table, installs
+// it, and retires the memtable's WAL. No-op when the queue is empty. Caller
+// holds compactMu; d.mu is taken only around the version install, so reads
+// and commits proceed during the SSTable write.
+func (d *DB) flushImm() error {
+	d.mu.RLock()
+	var im *immTable
+	if len(d.imm) > 0 {
+		im = d.imm[0]
+	}
+	d.mu.RUnlock()
+	if im == nil {
 		return nil
 	}
-	meta, fileNum, err := d.writeMemTable(d.mem)
+
+	meta, err := d.writeMemTable(im.mem)
 	if err != nil {
 		return err
 	}
+
+	d.mu.Lock()
 	nv := d.version.Clone()
 	// L0 is ordered newest-first.
 	nv.Levels[0] = append([]*manifest.FileMeta{meta}, nv.Levels[0]...)
 	d.installVersion(nv, nil)
 	d.flushes++
 	d.flushedBytes += int64(meta.Size)
-	d.mem = memtable.New(d.nextMemSeed())
-	if err := d.rotateWAL(); err != nil {
-		return err
+	d.imm = d.imm[1:]
+	saveErr := d.saveManifestLocked()
+	d.bgCond.Broadcast()
+	d.mu.Unlock()
+	if saveErr != nil {
+		return saveErr
 	}
-	_ = fileNum
-	if !d.opts.DisableAutoCompaction {
-		return d.maybeCompactLocked()
+
+	// The manifest no longer lists this WAL; its contents live in the
+	// flushed table. A crash before this Remove just replays it redundantly
+	// (every record is shadowed by an identical one already on disk).
+	if im.walNum != 0 && d.fs.Exists(walPath(d.opts.Dir, im.walNum)) {
+		if err := d.fs.Remove(walPath(d.opts.Dir, im.walNum)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // writeMemTable persists mem as an sstable and returns its metadata.
-func (d *DB) writeMemTable(mem *memtable.MemTable) (*manifest.FileMeta, uint64, error) {
-	fileNum := d.nextFileNum
-	d.nextFileNum++
+// Safe without d.mu: the file number comes from an atomic counter and the
+// memtable is immutable.
+func (d *DB) writeMemTable(mem *memtable.MemTable) (*manifest.FileMeta, error) {
+	fileNum := d.nextFileNum.Add(1) - 1
 	f, err := d.fs.Create(sstPath(d.opts.Dir, fileNum))
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	w := sstable.NewWriter(f, sstable.WriterOptions{
 		BlockSize:  d.opts.BlockSize,
@@ -52,16 +147,16 @@ func (d *DB) writeMemTable(mem *memtable.MemTable) (*manifest.FileMeta, uint64, 
 	for ok := it.First(); ok; ok = it.Next() {
 		if err := w.Add(it.Key(), it.Value()); err != nil {
 			f.Close()
-			return nil, 0, err
+			return nil, err
 		}
 	}
 	meta, err := w.Finish()
 	if err != nil {
 		f.Close()
-		return nil, 0, err
+		return nil, err
 	}
 	if err := f.Close(); err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	return &manifest.FileMeta{
 		FileNum:    fileNum,
@@ -69,5 +164,5 @@ func (d *DB) writeMemTable(mem *memtable.MemTable) (*manifest.FileMeta, uint64, 
 		NumEntries: meta.NumEntries,
 		Smallest:   append(keys.InternalKey(nil), meta.Smallest...),
 		Largest:    append(keys.InternalKey(nil), meta.Largest...),
-	}, fileNum, nil
+	}, nil
 }

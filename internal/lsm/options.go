@@ -1,6 +1,8 @@
 package lsm
 
 import (
+	"time"
+
 	"adcache/internal/vfs"
 )
 
@@ -35,8 +37,26 @@ type Options struct {
 	// L0StopTrigger is the hard L0 file cap (paper: write stop at 8).
 	L0StopTrigger int
 
+	// MaxImmutableMemTables bounds the queue of sealed memtables awaiting
+	// background flush. Writers stall once the queue is full (RocksDB's
+	// max_write_buffer_number analogue). Ignored with InlineCompaction.
+	MaxImmutableMemTables int
+	// L0SlowdownDelay is the per-write-group delay applied while L0 holds
+	// at least L0CompactTrigger files (the paper's write slowdown),
+	// giving background compaction room to catch up. Ignored with
+	// InlineCompaction (there the stall IS the inline compaction).
+	L0SlowdownDelay time.Duration
+
 	// Strategy receives cache callbacks; nil disables all caching.
 	Strategy CacheStrategy
+
+	// InlineCompaction runs flushes and compactions synchronously on the
+	// writer's goroutine, the pre-concurrency behaviour: every flush point
+	// and compaction is a deterministic function of the operation stream.
+	// Experiments use it (with core.Config.SyncTuning) so runs are
+	// machine-speed independent; production leaves it off and gets a
+	// background flush/compaction worker with real write backpressure.
+	InlineCompaction bool
 
 	// DisableAutoCompaction turns off flush-triggered compaction
 	// (tests and tools only).
@@ -99,6 +119,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.L0StopTrigger <= 0 {
 		o.L0StopTrigger = 2 * o.L0CompactTrigger
+	}
+	if o.MaxImmutableMemTables <= 0 {
+		o.MaxImmutableMemTables = 2
+	}
+	if o.L0SlowdownDelay <= 0 {
+		o.L0SlowdownDelay = 100 * time.Microsecond
 	}
 	if o.Seed == 0 {
 		o.Seed = 1

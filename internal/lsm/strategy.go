@@ -25,6 +25,17 @@ type ScanEntry struct {
 // a disk-served query the DB reports the result via OnPointResult /
 // OnScanResult so the strategy can admit it. Writes are reported via OnWrite
 // so result caches stay coherent.
+//
+// Concurrency contract under the background write path:
+//   - GetCached/ScanCached/OnPointResult/OnScanResult run under the DB's
+//     read lock, so any number may execute simultaneously on different
+//     goroutines.
+//   - OnWrite runs under the DB's exclusive lock (inside a write group's
+//     apply), mutually excluding the read-side callbacks above — the
+//     coherence guarantee result caches rely on.
+//   - OnCompaction and block-cache fills driven by compaction prefetch run
+//     on the background flush/compaction goroutine with no DB lock held,
+//     concurrently with all of the above.
 type CacheStrategy interface {
 	// GetCached returns a cached value for key. found distinguishes a
 	// cached "key absent" answer (ok=true, found=false) from a cache miss

@@ -135,8 +135,14 @@ func (v *Version) Overlapping(level int, lo, hi []byte) []*FileMeta {
 type State struct {
 	NextFileNum uint64
 	LastSeq     uint64
-	WALNum      uint64
-	Version     *Version
+	// WALNum is the active log. Kept alongside WALNums for compatibility
+	// with manifests written before background flushing existed.
+	WALNum uint64
+	// WALNums lists every live log oldest-first: one per sealed memtable
+	// still awaiting flush, then the active log. Recovery replays them in
+	// order. Empty in pre-background manifests (fall back to WALNum).
+	WALNums []uint64
+	Version *Version
 }
 
 type fileMetaJSON struct {
@@ -151,6 +157,7 @@ type stateJSON struct {
 	NextFileNum uint64           `json:"next_file_num"`
 	LastSeq     uint64           `json:"last_seq"`
 	WALNum      uint64           `json:"wal_num"`
+	WALNums     []uint64         `json:"wal_nums,omitempty"`
 	Levels      [][]fileMetaJSON `json:"levels"`
 }
 
@@ -175,6 +182,7 @@ func (s *Store) Save(st State) error {
 		NextFileNum: st.NextFileNum,
 		LastSeq:     st.LastSeq,
 		WALNum:      st.WALNum,
+		WALNums:     st.WALNums,
 		Levels:      make([][]fileMetaJSON, len(st.Version.Levels)),
 	}
 	for i, level := range st.Version.Levels {
@@ -237,7 +245,11 @@ func (s *Store) Load() (State, bool, error) {
 		NextFileNum: js.NextFileNum,
 		LastSeq:     js.LastSeq,
 		WALNum:      js.WALNum,
+		WALNums:     js.WALNums,
 		Version:     NewVersion(len(js.Levels)),
+	}
+	if len(st.WALNums) == 0 && st.WALNum != 0 {
+		st.WALNums = []uint64{st.WALNum}
 	}
 	for i, level := range js.Levels {
 		for _, fm := range level {

@@ -5,11 +5,12 @@
 //
 // Format: length-framed binary records
 //
-//	kind(1) scanLen(varint) keyLen(varint) key
+//	kind(1) scanLen(varint) keyLen(varint) key [endLen(varint) end]
 //
-// Values are not recorded — admission and partitioning decisions depend on
-// access patterns, not payloads — which keeps traces small and free of
-// application data.
+// The end-bound suffix is present only for OpScanRange records, so traces
+// written before bounded scans were recorded parse unchanged. Values are not
+// recorded — admission and partitioning decisions depend on access patterns,
+// not payloads — which keeps traces small and free of application data.
 package trace
 
 import (
@@ -41,6 +42,10 @@ func (w *Writer) Record(op workload.Op) error {
 	buf = binary.AppendUvarint(buf, uint64(op.ScanLen))
 	buf = binary.AppendUvarint(buf, uint64(len(op.Key)))
 	buf = append(buf, op.Key...)
+	if op.Kind == workload.OpScanRange {
+		buf = binary.AppendUvarint(buf, uint64(len(op.End)))
+		buf = append(buf, op.End...)
+	}
 	w.buf = buf
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(buf)))
@@ -114,6 +119,16 @@ func (r *Reader) Next() (workload.Op, error) {
 	}
 	op.ScanLen = int(scanLen)
 	op.Key = append([]byte(nil), rest[n:n+int(keyLen)]...)
+	if op.Kind == workload.OpScanRange {
+		rest = rest[n+int(keyLen):]
+		endLen, n := binary.Uvarint(rest)
+		if n <= 0 || int(endLen) > len(rest)-n {
+			return op, ErrCorrupt
+		}
+		if endLen > 0 {
+			op.End = append([]byte(nil), rest[n:n+int(endLen)]...)
+		}
+	}
 	return op, nil
 }
 
@@ -178,7 +193,16 @@ func Windows(ops []workload.Op, windowSize int) []WindowFeatures {
 				cur.ShortScans++
 			}
 			cur.ScanLenSum += op.ScanLen
-		case workload.OpPut:
+		case workload.OpScanRange:
+			// A zero ScanLen means the scan was bounded only by its end
+			// key; without a count there is no basis to call it short.
+			if op.ScanLen == 0 || op.ScanLen > (workload.ShortScanLen+workload.LongScanLen)/2 {
+				cur.LongScans++
+			} else {
+				cur.ShortScans++
+			}
+			cur.ScanLenSum += op.ScanLen
+		case workload.OpPut, workload.OpDelete:
 			cur.Writes++
 		}
 		if cur.Ops() == windowSize {
