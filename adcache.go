@@ -19,10 +19,13 @@ package adcache
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"adcache/internal/core"
 	"adcache/internal/lsm"
+	"adcache/internal/metrics"
 	"adcache/internal/trace"
 	"adcache/internal/vfs"
 	"adcache/internal/workload"
@@ -114,21 +117,26 @@ type DB struct {
 	strategy lsm.CacheStrategy
 	ad       *core.AdCache // non-nil only for StrategyAdCache
 	kind     Strategy
+	reg      *metrics.Registry
 
-	traceMu sync.Mutex
-	trace   *trace.Writer
+	traceMu   sync.Mutex
+	trace     *trace.Writer
+	traceErrs atomic.Int64
 }
 
 // recordTrace appends op to the trace log, if tracing is enabled. Trace
-// write errors are deliberately not surfaced to the data path; tracing is
-// advisory.
+// write errors never reach the data path (tracing is advisory) but are
+// counted, so a silently failing trace shows up in /stats and /metrics.
 func (d *DB) recordTrace(op workload.Op) {
 	if d.trace == nil {
 		return
 	}
 	d.traceMu.Lock()
-	_ = d.trace.Record(op)
+	err := d.trace.Record(op)
 	d.traceMu.Unlock()
+	if err != nil {
+		d.traceErrs.Add(1)
+	}
 }
 
 // Open creates or opens a database.
@@ -179,6 +187,15 @@ func Open(opts Options) (*DB, error) {
 	lsmOpts.FS = opts.FS
 	lsmOpts.Strategy = strategy
 
+	// One registry per DB: the engine, the cache strategy, and the public
+	// layer all export onto it (per-DB rather than global because one
+	// process routinely opens many stores — the experiment harness does).
+	reg := lsmOpts.MetricsRegistry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+		lsmOpts.MetricsRegistry = reg
+	}
+
 	inner, err := lsm.Open(lsmOpts)
 	if err != nil {
 		if ad != nil {
@@ -189,7 +206,9 @@ func Open(opts Options) (*DB, error) {
 	if ad != nil {
 		ad.Bind(inner)
 	}
-	return &DB{inner: inner, strategy: strategy, ad: ad, kind: opts.Strategy, trace: opts.Trace}, nil
+	d := &DB{inner: inner, strategy: strategy, ad: ad, kind: opts.Strategy, reg: reg, trace: opts.Trace}
+	d.registerMetrics(reg)
+	return d, nil
 }
 
 // Put stores key=value.
@@ -267,55 +286,32 @@ func (d *DB) LSM() *lsm.DB { return d.inner }
 func (d *DB) SSTReads() int64 { return d.inner.QueryBlockReads() }
 
 // CacheCounters aggregates the counters of whichever caches the configured
-// strategy runs. Fields for absent caches stay zero.
-type CacheCounters struct {
-	BlockHits      int64
-	BlockMisses    int64
-	BlockEvictions int64
-	BlockUsed      int64
-	BlockCapacity  int64
-
-	RangeGetHits    int64
-	RangeGetMisses  int64
-	RangeScanHits   int64
-	RangeScanMisses int64
-	RangePartials   int64
-	RangeEvictions  int64
-	RangeUsed       int64
-	RangeCapacity   int64
-	RangeEntries    int
-
-	KVHits      int64
-	KVMisses    int64
-	KVEvictions int64
-}
+// strategy runs. Fields for absent caches stay zero. It is an alias of the
+// engine-level shape: every strategy reports through the same interface
+// method, so no layer type-switches on concrete strategies.
+type CacheCounters = lsm.CacheCounters
 
 // CacheCounters snapshots the strategy's cache counters.
-func (d *DB) CacheCounters() CacheCounters {
-	var c CacheCounters
-	switch s := d.strategy.(type) {
-	case *core.BlockOnly:
-		bs := s.Block().Stats()
-		c.BlockHits, c.BlockMisses, c.BlockEvictions = bs.Hits, bs.Misses, bs.Evictions
-		c.BlockUsed, c.BlockCapacity = bs.Used, bs.Capacity
-	case *core.KVOnly:
-		ks := s.KV().Stats()
-		c.KVHits, c.KVMisses, c.KVEvictions = ks.Hits, ks.Misses, ks.Evictions
-	case *core.RangeOnly:
-		rs := s.Range().Stats()
-		c.RangeGetHits, c.RangeGetMisses = rs.GetHits, rs.GetMisses
-		c.RangeScanHits, c.RangeScanMisses = rs.ScanHits, rs.ScanMisses
-		c.RangePartials, c.RangeEvictions = rs.ScanPartials, rs.Evictions
-		c.RangeUsed, c.RangeCapacity, c.RangeEntries = rs.Used, rs.Capacity, rs.Entries
-	case *core.AdCache:
-		bs := s.Block().Stats()
-		c.BlockHits, c.BlockMisses, c.BlockEvictions = bs.Hits, bs.Misses, bs.Evictions
-		c.BlockUsed, c.BlockCapacity = bs.Used, bs.Capacity
-		rs := s.Range().Stats()
-		c.RangeGetHits, c.RangeGetMisses = rs.GetHits, rs.GetMisses
-		c.RangeScanHits, c.RangeScanMisses = rs.ScanHits, rs.ScanMisses
-		c.RangePartials, c.RangeEvictions = rs.ScanPartials, rs.Evictions
-		c.RangeUsed, c.RangeCapacity, c.RangeEntries = rs.Used, rs.Capacity, rs.Entries
+func (d *DB) CacheCounters() CacheCounters { return d.strategy.Counters() }
+
+// ParseStrategy maps a strategy name — the String() form or a short
+// lower-case alias as accepted by the command-line tools — onto a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case "adcache":
+		return StrategyAdCache, nil
+	case "block", "blockcache":
+		return StrategyBlock, nil
+	case "kv", "kvcache":
+		return StrategyKV, nil
+	case "range", "rangecache":
+		return StrategyRange, nil
+	case "lecar", "rangecache+lecar":
+		return StrategyRangeLeCaR, nil
+	case "cacheus", "rangecache+cacheus":
+		return StrategyRangeCacheus, nil
+	case "none", "nocache":
+		return StrategyNone, nil
 	}
-	return c
+	return 0, fmt.Errorf("adcache: unknown strategy %q", name)
 }

@@ -9,6 +9,12 @@
 //
 // Experiments: fig1 fig6 fig7 fig8 (includes Table 4) fig9 fig10 fig11a
 // fig11b table2 all.
+//
+// With -strategy, adbench instead runs a single latency benchmark against
+// that cache strategy and prints the engine's latency histogram summary
+// (Get/Scan/commit/flush/compaction percentiles from the metrics registry):
+//
+//	adbench -strategy adcache -scale quick
 package main
 
 import (
@@ -17,18 +23,21 @@ import (
 	"os"
 	"time"
 
+	"adcache"
 	"adcache/internal/harness"
+	"adcache/internal/workload"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|fig11a|fig11b|table2|ablations|scaling|all")
-		scale  = flag.String("scale", "default", "scale preset: quick|default")
-		keys   = flag.Int("keys", 0, "override key-space size")
-		values = flag.Int("values", 0, "override value size in bytes")
-		ops    = flag.Int("ops", 0, "override measured ops (and warm-up ops)")
-		seed   = flag.Int64("seed", 0, "override workload seed")
-		csvDir = flag.String("csv", "", "also write raw results as CSV into this directory")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|fig11a|fig11b|table2|ablations|scaling|all")
+		scale    = flag.String("scale", "default", "scale preset: quick|default")
+		keys     = flag.Int("keys", 0, "override key-space size")
+		values   = flag.Int("values", 0, "override value size in bytes")
+		ops      = flag.Int("ops", 0, "override measured ops (and warm-up ops)")
+		seed     = flag.Int64("seed", 0, "override workload seed")
+		csvDir   = flag.String("csv", "", "also write raw results as CSV into this directory")
+		strategy = flag.String("strategy", "", "run a latency benchmark with this strategy (adcache|block|kv|range|lecar|cacheus|none) and print the histogram table")
 	)
 	flag.Parse()
 
@@ -49,6 +58,14 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+
+	if *strategy != "" {
+		if err := runLatency(*strategy, sc); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	run := func(name string) error {
@@ -170,6 +187,63 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runLatency loads a store, drives a balanced mixed workload against the
+// chosen strategy, and prints the latency histogram summary table — the
+// smoke-test face of the metrics subsystem (CI greps its p99 column).
+func runLatency(name string, sc harness.Scale) error {
+	strat, err := adcache.ParseStrategy(name)
+	if err != nil {
+		return err
+	}
+	cacheBytes := int64(sc.NumKeys*sc.ValueSize) / 10
+	db, err := adcache.Open(adcache.Options{CacheBytes: cacheBytes, Strategy: strat})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	start := time.Now()
+	gen := workload.NewGenerator(workload.Config{
+		NumKeys: sc.NumKeys, ValueSize: sc.ValueSize, Seed: sc.Seed,
+	})
+	for i := 0; i < sc.NumKeys; i++ {
+		if err := db.Put(workload.Key(i), gen.InitialValue(i)); err != nil {
+			return err
+		}
+	}
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	for i := 0; i < sc.MeasureOps; i++ {
+		op := gen.Next(workload.MixBalanced)
+		switch op.Kind {
+		case workload.OpGet:
+			_, _, err = db.Get(op.Key)
+		case workload.OpScan:
+			_, err = db.Scan(op.Key, op.ScanLen)
+		default:
+			err = db.Put(op.Key, op.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	m := db.Metrics()
+	fmt.Printf("== latency %s (keys=%d values=%dB ops=%d cache=%dB) ==\n",
+		m.Strategy, sc.NumKeys, sc.ValueSize, sc.MeasureOps, cacheBytes)
+	db.Registry().WriteHistogramTable(os.Stdout)
+	fmt.Printf("sst_reads=%d block_cache_hits=%d compactions=%d write_amp=%.2f\n",
+		m.SSTReads, m.BlockCacheHits, m.Engine.Compactions, m.Engine.WriteAmplification())
+	if m.AdCache != nil {
+		t := m.AdCache.Tuning
+		fmt.Printf("adcache windows=%d range_ratio=%.3f actor_lr=%.2g reward=%.4f\n",
+			t.Windows, m.AdCache.Params.RangeRatio, t.ActorLR, t.Reward)
+	}
+	fmt.Printf("(latency run took %s)\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // writeCSV writes one CSV artifact when -csv is set.

@@ -29,6 +29,7 @@ func main() {
 		seed      = flag.Int64("seed", 7, "data/exploration seed")
 		traceFile = flag.String("trace", "", "pretrain from a recorded workload trace instead of synthetic mixes")
 		window    = flag.Int("window", 1000, "trace window size in operations")
+		show      = flag.Int("show", 4, "print this many sample state→action rows of the trained policy (0 disables)")
 	)
 	flag.Parse()
 
@@ -74,5 +75,26 @@ func main() {
 	}
 	fmt.Printf("pretrained on %d states for %d epochs (final loss %.6f)\n", len(states), *epochs, loss)
 	fmt.Printf("model: %d parameters, %.0f KB weights\n", agent.NumParams(), float64(agent.MemoryBytes())/1024)
+
+	// Policy exposition: what the trained actor does on a spread of training
+	// states (noiseless means) next to the supervision targets.
+	if *show > 0 && len(states) > 0 {
+		n := *show
+		if n > len(states) {
+			n = len(states)
+		}
+		step := len(states) / n
+		fmt.Printf("%-8s %-28s %-36s %s\n", "sample", "state[point scan write len]",
+			"policy[ratio thresh a b]", "target[ratio thresh a b]")
+		for i := 0; i < n; i++ {
+			s := states[i*step]
+			got := agent.Mean(s)
+			want := targets[i*step]
+			fmt.Printf("%-8d %4.2f %4.2f %4.2f %4.2f          %5.2f %5.2f %5.2f %5.2f          %5.2f %5.2f %5.2f %5.2f\n",
+				i*step, s[0], s[1], s[2], s[3],
+				got.RangeRatio, got.PointThreshold, got.ScanA, got.ScanB,
+				want.RangeRatio, want.PointThreshold, want.ScanA, want.ScanB)
+		}
+	}
 	fmt.Printf("saved %s.actor and %s.critic\n", *out, *out)
 }

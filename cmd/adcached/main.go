@@ -28,18 +28,16 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		cache    = flag.Int64("cache", 64<<20, "cache budget in bytes")
 		strategy = flag.String("strategy", "adcache", "cache strategy: adcache|block|kv|range|lecar|cacheus|none")
+		readonly = flag.Bool("readonly", false, "reject writes; serve reads and observability only")
+		maxBody  = flag.Int64("maxbody", 0, "request body size cap in bytes (default 64 MiB)")
 	)
 	flag.Parse()
 
-	strat := map[string]adcache.Strategy{
-		"adcache": adcache.StrategyAdCache,
-		"block":   adcache.StrategyBlock,
-		"kv":      adcache.StrategyKV,
-		"range":   adcache.StrategyRange,
-		"lecar":   adcache.StrategyRangeLeCaR,
-		"cacheus": adcache.StrategyRangeCacheus,
-		"none":    adcache.StrategyNone,
-	}[*strategy]
+	strat, err := adcache.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adcached:", err)
+		os.Exit(1)
+	}
 
 	lsmOpts := lsm.DefaultOptions(*dir)
 	db, err := adcache.Open(adcache.Options{
@@ -55,9 +53,16 @@ func main() {
 	}
 	defer db.Close()
 
-	fmt.Printf("adcached: serving %s (%s strategy, %d MiB cache) on %s\n",
-		*dir, db.Strategy(), *cache>>20, *addr)
-	if err := http.ListenAndServe(*addr, server.Handler(db)); err != nil {
+	mode := "read-write"
+	if *readonly {
+		mode = "read-only"
+	}
+	fmt.Printf("adcached: serving %s (%s strategy, %d MiB cache, %s) on %s\n",
+		*dir, db.Strategy(), *cache>>20, mode, *addr)
+	fmt.Printf("adcached: observability at %s/stats (JSON), %s/metrics (Prometheus), %s/debug/vars (expvar)\n",
+		*addr, *addr, *addr)
+	handler := server.NewHandler(db, server.Options{ReadOnly: *readonly, MaxBodyBytes: *maxBody})
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintln(os.Stderr, "adcached:", err)
 		os.Exit(1)
 	}

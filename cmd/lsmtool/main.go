@@ -4,6 +4,7 @@
 // Usage:
 //
 //	lsmtool -dir /tmp/db stats
+//	lsmtool -dir /tmp/db metrics        # Prometheus text dump of the registry
 //	lsmtool -dir /tmp/db put k v
 //	lsmtool -dir /tmp/db get k
 //	lsmtool -dir /tmp/db scan k 10
@@ -32,7 +33,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lsmtool -dir DIR stats|put|get|scan|fill|compact ...")
+		fmt.Fprintln(os.Stderr, "usage: lsmtool -dir DIR stats|metrics|put|get|scan|fill|compact|check ...")
 		os.Exit(2)
 	}
 
@@ -59,6 +60,12 @@ func main() {
 		fmt.Printf("total bytes:    %d\n", m.TotalBytes)
 		fmt.Printf("flushes:        %d, compactions: %d\n", m.Flushes, m.Compactions)
 		fmt.Printf("sst reads:      %d (query path)\n", db.SSTReads())
+	case "metrics":
+		// Full registry in Prometheus text form — pipe-friendly for diffing
+		// against a live server's /metrics.
+		if err := db.Registry().WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
 	case "put":
 		need(args, 3)
 		if err := db.Put([]byte(args[1]), []byte(args[2])); err != nil {

@@ -10,21 +10,18 @@ package blockcache
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
 )
 
 // DefaultShards balances lock contention against shard-budget fragmentation.
 const DefaultShards = 16
 
 // Cache is a sharded LRU block cache. It is safe for concurrent use.
+// Counters live on the shards (counted under each shard's lock, so they
+// cost nothing extra on the hot path); Stats aggregates them and
+// ShardStats exposes the per-shard view for metrics.
 type Cache struct {
 	shards []*shard
 	mask   uint64
-
-	hits      atomic.Int64
-	misses    atomic.Int64
-	inserts   atomic.Int64
-	evictions atomic.Int64
 }
 
 type shard struct {
@@ -33,7 +30,11 @@ type shard struct {
 	used     int64
 	ll       *list.List // front = most recent
 	items    map[blockKey]*list.Element
-	owner    *Cache
+
+	hits      int64
+	misses    int64
+	inserts   int64
+	evictions int64
 }
 
 type blockKey struct {
@@ -76,7 +77,6 @@ func NewShards(capacity int64, numShards int) *Cache {
 			capacity: capacity / int64(n),
 			ll:       list.New(),
 			items:    make(map[blockKey]*list.Element),
-			owner:    c,
 		}
 	}
 	return c
@@ -96,10 +96,10 @@ func (c *Cache) Get(fileNum, offset uint64) ([]byte, bool) {
 	defer s.mu.Unlock()
 	if e, ok := s.items[k]; ok {
 		s.ll.MoveToFront(e)
-		c.hits.Add(1)
+		s.hits++
 		return e.Value.(*entry).data, true
 	}
-	c.misses.Add(1)
+	s.misses++
 	return nil, false
 }
 
@@ -129,7 +129,7 @@ func (c *Cache) insert(fileNum, offset uint64, data []byte) {
 		}
 		s.items[k] = s.ll.PushFront(&entry{key: k, data: data})
 		s.used += int64(len(data))
-		c.inserts.Add(1)
+		s.inserts++
 	}
 	s.evictLocked()
 }
@@ -144,11 +144,9 @@ func (s *shard) evictLocked() {
 		s.ll.Remove(back)
 		delete(s.items, e.key)
 		s.used -= int64(len(e.data))
-		s.owner.evictions.Add(1)
+		s.evictions++
 	}
 }
-
-func (s *shard) evictLockedCount() { s.evictLocked() }
 
 // Resize changes the total capacity, evicting as needed. AdCache calls this
 // when the RL agent moves the cache boundary.
@@ -222,23 +220,46 @@ type Stats struct {
 	Blocks    int
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, aggregated over shards.
 func (c *Cache) Stats() Stats {
-	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Inserts:   c.inserts.Load(),
-		Evictions: c.evictions.Load(),
-		Used:      c.Used(),
-		Capacity:  c.Capacity(),
-		Blocks:    c.Len(),
+	var st Stats
+	for _, s := range c.ShardStats() {
+		st.Hits += s.Hits
+		st.Misses += s.Misses
+		st.Inserts += s.Inserts
+		st.Evictions += s.Evictions
+		st.Used += s.Used
+		st.Capacity += s.Capacity
+		st.Blocks += s.Blocks
 	}
+	return st
+}
+
+// ShardStats returns one counter snapshot per shard, in shard order — the
+// per-shard observability view (shard imbalance shows up here first).
+func (c *Cache) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = Stats{
+			Hits:      s.hits,
+			Misses:    s.misses,
+			Inserts:   s.inserts,
+			Evictions: s.evictions,
+			Used:      s.used,
+			Capacity:  s.capacity,
+			Blocks:    len(s.items),
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // ResetCounters zeroes hit/miss/insert/eviction counters (per-window stats).
 func (c *Cache) ResetCounters() {
-	c.hits.Store(0)
-	c.misses.Store(0)
-	c.inserts.Store(0)
-	c.evictions.Store(0)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.hits, s.misses, s.inserts, s.evictions = 0, 0, 0, 0
+		s.mu.Unlock()
+	}
 }

@@ -8,7 +8,6 @@ import (
 	"container/list"
 	"hash/maphash"
 	"sync"
-	"sync/atomic"
 )
 
 // DefaultShards balances lock contention against shard-budget fragmentation,
@@ -17,15 +16,12 @@ const DefaultShards = 16
 
 // Cache is a sharded LRU key-value cache. It is safe for concurrent use:
 // each shard has its own mutex, so point lookups on different shards never
-// contend.
+// contend. Counters live on the shards (counted under the shard lock);
+// Stats aggregates them and ShardStats exposes the per-shard view.
 type Cache struct {
 	shards []*shard
 	mask   uint64
 	seed   maphash.Seed
-
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
 }
 
 type shard struct {
@@ -34,7 +30,10 @@ type shard struct {
 	used     int64
 	ll       *list.List // front = most recent
 	items    map[string]*list.Element
-	owner    *Cache
+
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type entry struct {
@@ -79,7 +78,6 @@ func NewShards(capacity int64, numShards int) *Cache {
 			capacity: capacity / int64(n),
 			ll:       list.New(),
 			items:    make(map[string]*list.Element),
-			owner:    c,
 		}
 	}
 	return c
@@ -99,10 +97,10 @@ func (c *Cache) Get(key []byte) ([]byte, bool) {
 	defer s.mu.Unlock()
 	if e, ok := s.items[string(key)]; ok {
 		s.ll.MoveToFront(e)
-		c.hits.Add(1)
+		s.hits++
 		return e.Value.(*entry).value, true
 	}
-	c.misses.Add(1)
+	s.misses++
 	return nil, false
 }
 
@@ -151,7 +149,7 @@ func (s *shard) evictLocked() {
 		s.ll.Remove(back)
 		delete(s.items, ent.key)
 		s.used -= ent.size()
-		s.owner.evictions.Add(1)
+		s.evictions++
 	}
 }
 
@@ -174,21 +172,36 @@ type Stats struct {
 	Entries                 int
 }
 
-// Stats returns a snapshot of counters.
+// Stats returns a snapshot of counters, aggregated over shards.
 func (c *Cache) Stats() Stats {
-	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-	}
-	for _, s := range c.shards {
-		s.mu.Lock()
-		st.Used += s.used
-		st.Capacity += s.capacity
-		st.Entries += len(s.items)
-		s.mu.Unlock()
+	var st Stats
+	for _, s := range c.ShardStats() {
+		st.Hits += s.Hits
+		st.Misses += s.Misses
+		st.Evictions += s.Evictions
+		st.Used += s.Used
+		st.Capacity += s.Capacity
+		st.Entries += s.Entries
 	}
 	return st
+}
+
+// ShardStats returns one counter snapshot per shard, in shard order.
+func (c *Cache) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = Stats{
+			Hits:      s.hits,
+			Misses:    s.misses,
+			Evictions: s.evictions,
+			Used:      s.used,
+			Capacity:  s.capacity,
+			Entries:   len(s.items),
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Len reports the entry count.

@@ -429,6 +429,29 @@ func (c *Cache) Stats() Stats {
 	return st
 }
 
+// ShardStats returns one counter snapshot per shard, in shard order.
+// Shards map to key ranges (§4.4), so a hot range shows up as one shard's
+// hit and eviction counters running away from its siblings'.
+func (c *Cache) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = Stats{
+			GetHits:      s.getHits,
+			GetMisses:    s.getMisses,
+			ScanHits:     s.scanHits,
+			ScanMisses:   s.scanMisses,
+			ScanPartials: s.scanPartials,
+			Evictions:    s.evictions,
+			Used:         s.used,
+			Capacity:     s.capacity,
+			Entries:      s.list.len(),
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Len reports the total entry count.
 func (c *Cache) Len() int {
 	n := 0

@@ -157,6 +157,7 @@ type AdCache struct {
 	smoothed float64
 	haveInit bool
 	trace    []WindowTrace
+	tuning   TuningState // last closed window's controller view (metrics)
 
 	lastBlockStats blockcache.Stats
 	windowsClosed  atomic.Int64

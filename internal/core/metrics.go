@@ -1,0 +1,234 @@
+// Observability for the cache strategies: every strategy answers the
+// engine's unified Counters() query (so nothing above this package ever
+// type-switches on concrete strategies), and registers its Prometheus
+// series — aggregate and per-shard — on a metrics.Registry. AdCache
+// additionally exposes its controller state: the RL reward, losses, and
+// the tuned parameters of the latest window.
+package core
+
+import (
+	"fmt"
+
+	"adcache/internal/cache/blockcache"
+	"adcache/internal/cache/kvcache"
+	"adcache/internal/cache/rangecache"
+	"adcache/internal/lsm"
+	"adcache/internal/metrics"
+)
+
+// blockCounters fills the block-cache fields of an lsm.CacheCounters.
+func blockCounters(c *lsm.CacheCounters, st blockcache.Stats) {
+	c.BlockHits, c.BlockMisses, c.BlockEvictions = st.Hits, st.Misses, st.Evictions
+	c.BlockUsed, c.BlockCapacity = st.Used, st.Capacity
+}
+
+// rangeCounters fills the range-cache fields of an lsm.CacheCounters.
+func rangeCounters(c *lsm.CacheCounters, st rangecache.Stats) {
+	c.RangeGetHits, c.RangeGetMisses = st.GetHits, st.GetMisses
+	c.RangeScanHits, c.RangeScanMisses = st.ScanHits, st.ScanMisses
+	c.RangePartials, c.RangeEvictions = st.ScanPartials, st.Evictions
+	c.RangeUsed, c.RangeCapacity, c.RangeEntries = st.Used, st.Capacity, st.Entries
+}
+
+// Counters implements lsm.CacheStrategy.
+func (b *BlockOnly) Counters() lsm.CacheCounters {
+	var c lsm.CacheCounters
+	blockCounters(&c, b.cache.Stats())
+	return c
+}
+
+// Counters implements lsm.CacheStrategy.
+func (k *KVOnly) Counters() lsm.CacheCounters {
+	st := k.cache.Stats()
+	return lsm.CacheCounters{KVHits: st.Hits, KVMisses: st.Misses, KVEvictions: st.Evictions}
+}
+
+// Counters implements lsm.CacheStrategy.
+func (r *RangeOnly) Counters() lsm.CacheCounters {
+	var c lsm.CacheCounters
+	rangeCounters(&c, r.cache.Stats())
+	return c
+}
+
+// Counters implements lsm.CacheStrategy.
+func (a *AdCache) Counters() lsm.CacheCounters {
+	var c lsm.CacheCounters
+	blockCounters(&c, a.block.Stats())
+	rangeCounters(&c, a.rng.Stats())
+	return c
+}
+
+// shardSeries registers one labeled per-shard series: value(i) reads shard
+// i's scalar at exposition time.
+func shardSeries(reg *metrics.Registry, name, help string, shards int, counter bool, value func(i int) int64) {
+	for i := 0; i < shards; i++ {
+		i := i
+		series := fmt.Sprintf("%s{shard=%q}", name, fmt.Sprint(i))
+		if counter {
+			reg.CounterFunc(series, help, func() int64 { return value(i) })
+		} else {
+			reg.GaugeFunc(series, help, func() float64 { return float64(value(i)) })
+		}
+	}
+}
+
+// registerBlockCacheMetrics exports a block cache's aggregate and per-shard
+// counters under the cache_block_* prefix.
+func registerBlockCacheMetrics(reg *metrics.Registry, c *blockcache.Cache) {
+	reg.CounterFunc("cache_block_hits_total", "Block cache hits.",
+		func() int64 { return c.Stats().Hits })
+	reg.CounterFunc("cache_block_misses_total", "Block cache misses.",
+		func() int64 { return c.Stats().Misses })
+	reg.CounterFunc("cache_block_inserts_total", "Blocks admitted into the block cache.",
+		func() int64 { return c.Stats().Inserts })
+	reg.CounterFunc("cache_block_evictions_total", "Blocks evicted from the block cache.",
+		func() int64 { return c.Stats().Evictions })
+	reg.GaugeFunc("cache_block_used_bytes", "Bytes held by the block cache.",
+		func() float64 { return float64(c.Stats().Used) })
+	reg.GaugeFunc("cache_block_capacity_bytes", "Block cache byte budget.",
+		func() float64 { return float64(c.Stats().Capacity) })
+	reg.GaugeFunc("cache_block_entries", "Blocks held by the block cache.",
+		func() float64 { return float64(c.Stats().Blocks) })
+
+	shards := len(c.ShardStats())
+	shardSeries(reg, "cache_block_shard_hits_total", "Block cache hits by shard.",
+		shards, true, func(i int) int64 { return c.ShardStats()[i].Hits })
+	shardSeries(reg, "cache_block_shard_misses_total", "Block cache misses by shard.",
+		shards, true, func(i int) int64 { return c.ShardStats()[i].Misses })
+	shardSeries(reg, "cache_block_shard_evictions_total", "Block cache evictions by shard.",
+		shards, true, func(i int) int64 { return c.ShardStats()[i].Evictions })
+	shardSeries(reg, "cache_block_shard_used_bytes", "Bytes held, by shard.",
+		shards, false, func(i int) int64 { return c.ShardStats()[i].Used })
+}
+
+// registerRangeCacheMetrics exports a range cache's aggregate and per-shard
+// counters under the cache_range_* prefix. With split keys configured,
+// shard i covers the i-th key range in split order.
+func registerRangeCacheMetrics(reg *metrics.Registry, c *rangecache.Cache) {
+	reg.CounterFunc("cache_range_get_hits_total", "Range cache point-lookup hits.",
+		func() int64 { return c.Stats().GetHits })
+	reg.CounterFunc("cache_range_get_misses_total", "Range cache point-lookup misses.",
+		func() int64 { return c.Stats().GetMisses })
+	reg.CounterFunc("cache_range_scan_hits_total", "Range cache full scan hits.",
+		func() int64 { return c.Stats().ScanHits })
+	reg.CounterFunc("cache_range_scan_misses_total", "Range cache scan misses.",
+		func() int64 { return c.Stats().ScanMisses })
+	reg.CounterFunc("cache_range_scan_partials_total", "Scans with a covered prefix but incomplete coverage.",
+		func() int64 { return c.Stats().ScanPartials })
+	reg.CounterFunc("cache_range_evictions_total", "Entries evicted from the range cache.",
+		func() int64 { return c.Stats().Evictions })
+	reg.GaugeFunc("cache_range_used_bytes", "Bytes held by the range cache.",
+		func() float64 { return float64(c.Stats().Used) })
+	reg.GaugeFunc("cache_range_capacity_bytes", "Range cache byte budget.",
+		func() float64 { return float64(c.Stats().Capacity) })
+	reg.GaugeFunc("cache_range_entries", "Entries held by the range cache.",
+		func() float64 { return float64(c.Stats().Entries) })
+
+	shards := len(c.ShardStats())
+	shardSeries(reg, "cache_range_shard_get_hits_total", "Range cache point hits by key-range shard.",
+		shards, true, func(i int) int64 { return c.ShardStats()[i].GetHits })
+	shardSeries(reg, "cache_range_shard_scan_hits_total", "Range cache scan hits by key-range shard.",
+		shards, true, func(i int) int64 { return c.ShardStats()[i].ScanHits })
+	shardSeries(reg, "cache_range_shard_evictions_total", "Range cache evictions by key-range shard.",
+		shards, true, func(i int) int64 { return c.ShardStats()[i].Evictions })
+	shardSeries(reg, "cache_range_shard_used_bytes", "Bytes held, by key-range shard.",
+		shards, false, func(i int) int64 { return c.ShardStats()[i].Used })
+}
+
+// registerKVCacheMetrics exports a KV cache's aggregate and per-shard
+// counters under the cache_kv_* prefix.
+func registerKVCacheMetrics(reg *metrics.Registry, c *kvcache.Cache) {
+	reg.CounterFunc("cache_kv_hits_total", "KV cache hits.",
+		func() int64 { return c.Stats().Hits })
+	reg.CounterFunc("cache_kv_misses_total", "KV cache misses.",
+		func() int64 { return c.Stats().Misses })
+	reg.CounterFunc("cache_kv_evictions_total", "Entries evicted from the KV cache.",
+		func() int64 { return c.Stats().Evictions })
+	reg.GaugeFunc("cache_kv_used_bytes", "Bytes held by the KV cache.",
+		func() float64 { return float64(c.Stats().Used) })
+	reg.GaugeFunc("cache_kv_capacity_bytes", "KV cache byte budget.",
+		func() float64 { return float64(c.Stats().Capacity) })
+	reg.GaugeFunc("cache_kv_entries", "Entries held by the KV cache.",
+		func() float64 { return float64(c.Stats().Entries) })
+
+	shards := len(c.ShardStats())
+	shardSeries(reg, "cache_kv_shard_hits_total", "KV cache hits by shard.",
+		shards, true, func(i int) int64 { return c.ShardStats()[i].Hits })
+	shardSeries(reg, "cache_kv_shard_misses_total", "KV cache misses by shard.",
+		shards, true, func(i int) int64 { return c.ShardStats()[i].Misses })
+	shardSeries(reg, "cache_kv_shard_evictions_total", "KV cache evictions by shard.",
+		shards, true, func(i int) int64 { return c.ShardStats()[i].Evictions })
+}
+
+// RegisterMetrics exports the strategy's series on reg.
+func (b *BlockOnly) RegisterMetrics(reg *metrics.Registry) {
+	registerBlockCacheMetrics(reg, b.cache)
+}
+
+// RegisterMetrics exports the strategy's series on reg.
+func (k *KVOnly) RegisterMetrics(reg *metrics.Registry) {
+	registerKVCacheMetrics(reg, k.cache)
+}
+
+// RegisterMetrics exports the strategy's series on reg.
+func (r *RangeOnly) RegisterMetrics(reg *metrics.Registry) {
+	registerRangeCacheMetrics(reg, r.cache)
+}
+
+// TuningState is the controller's view of the most recently closed window:
+// the learning signal (reward, losses, adaptive learning rate) next to the
+// parameters it produced. Served under /stats and as adcache_* gauges.
+type TuningState struct {
+	Windows    int64   `json:"windows"`
+	AgentSteps int64   `json:"agent_steps"`
+	HEstimate  float64 `json:"h_estimate"`
+	HSmoothed  float64 `json:"h_smoothed"`
+	Reward     float64 `json:"reward"`
+	ActorLR    float64 `json:"actor_lr"`
+	ActorLoss  float64 `json:"actor_loss"`
+	CriticLoss float64 `json:"critic_loss"`
+	Params     Params  `json:"params"`
+}
+
+// TuningState returns the controller state of the last closed window. Before
+// the first window closes it is the zero value.
+func (a *AdCache) TuningState() TuningState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tuning
+}
+
+// RegisterMetrics exports the component caches' series plus the controller
+// gauges. Scrapes never touch the tuner-owned agent: every adcache_* value
+// reads either the atomic params or the mu-guarded TuningState copy that
+// tuneOnce writes at each window boundary.
+func (a *AdCache) RegisterMetrics(reg *metrics.Registry) {
+	registerBlockCacheMetrics(reg, a.block)
+	registerRangeCacheMetrics(reg, a.rng)
+
+	reg.GaugeFunc("adcache_range_ratio", "Fraction of the budget held by the range cache.",
+		func() float64 { return a.CurrentParams().RangeRatio })
+	reg.GaugeFunc("adcache_point_threshold", "Frequency-score threshold for point admission.",
+		func() float64 { return a.CurrentParams().PointThreshold })
+	reg.GaugeFunc("adcache_scan_a", "Full-admission scan length threshold a, in keys.",
+		func() float64 { return float64(a.CurrentParams().ScanA) })
+	reg.GaugeFunc("adcache_scan_b", "Partial-admission aggressiveness b.",
+		func() float64 { return a.CurrentParams().ScanB })
+
+	reg.CounterFunc("adcache_windows_total", "Control windows processed by the tuner.",
+		func() int64 { return a.Windows() })
+	reg.CounterFunc("adcache_agent_steps_total", "Actor-critic updates performed.",
+		func() int64 { return a.TuningState().AgentSteps })
+	reg.GaugeFunc("adcache_reward", "Last window's learning-rate signal Δh/h.",
+		func() float64 { return a.TuningState().Reward })
+	reg.GaugeFunc("adcache_h_estimate", "Last window's I/O-model hit-rate estimate.",
+		func() float64 { return a.TuningState().HEstimate })
+	reg.GaugeFunc("adcache_h_smoothed", "Smoothed hit-rate estimate (the critic target).",
+		func() float64 { return a.TuningState().HSmoothed })
+	reg.GaugeFunc("adcache_actor_lr", "Adaptive actor learning rate.",
+		func() float64 { return a.TuningState().ActorLR })
+	reg.GaugeFunc("adcache_actor_loss", "Actor policy-gradient surrogate loss, last update.",
+		func() float64 { return a.TuningState().ActorLoss })
+	reg.GaugeFunc("adcache_critic_loss", "Critic TD squared error, last update.",
+		func() float64 { return a.TuningState().CriticLoss })
+}

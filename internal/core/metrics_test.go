@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"adcache/internal/lsm"
+	"adcache/internal/metrics"
+)
+
+// driveWindows pushes enough point traffic through the strategy callbacks
+// to close n control windows (SyncTuning runs the controller inline).
+func driveWindows(a *AdCache, n int) {
+	ops := n * a.cfg.WindowSize
+	for i := 0; i < ops; i++ {
+		k := []byte(fmt.Sprintf("k%06d", i%64))
+		if _, _, ok := a.GetCached(k); !ok {
+			a.OnPointResult(k, []byte("value"), 2)
+		}
+	}
+}
+
+// TestMetricsRLTuningState checks that closing windows publishes the
+// controller view: reward, losses, learning rate, and the applied params.
+func TestMetricsRLTuningState(t *testing.T) {
+	a := newTestAdCache(t, Config{WindowSize: 100})
+	if ts := a.TuningState(); ts.Windows != 0 {
+		t.Fatalf("tuning state before first window = %+v", ts)
+	}
+	driveWindows(a, 5)
+
+	ts := a.TuningState()
+	if ts.Windows != a.Windows() || ts.Windows < 5 {
+		t.Fatalf("windows = %d (counter %d), want >= 5", ts.Windows, a.Windows())
+	}
+	// Agent updates start one window late (it needs a previous action).
+	if ts.AgentSteps < ts.Windows-1 || ts.AgentSteps > ts.Windows {
+		t.Errorf("agent steps = %d for %d windows", ts.AgentSteps, ts.Windows)
+	}
+	if ts.HEstimate <= 0 || ts.HSmoothed <= 0 {
+		t.Errorf("hit-rate estimates not published: %+v", ts)
+	}
+	if ts.ActorLR <= 0 {
+		t.Errorf("actor lr = %v", ts.ActorLR)
+	}
+	if ts.CriticLoss == 0 {
+		t.Errorf("critic loss never published")
+	}
+	if ts.Params != a.CurrentParams() {
+		t.Errorf("tuning params %+v diverge from applied %+v", ts.Params, a.CurrentParams())
+	}
+}
+
+// TestMetricsRLGauges checks the adcache_* series end to end: registered
+// via the same RegisterMetrics upgrade the engine uses, scraped from the
+// registry, matching the mu-guarded state.
+func TestMetricsRLGauges(t *testing.T) {
+	a := newTestAdCache(t, Config{WindowSize: 100})
+	reg := metrics.NewRegistry()
+	var s lsm.CacheStrategy = a
+	s.(interface{ RegisterMetrics(*metrics.Registry) }).RegisterMetrics(reg)
+	driveWindows(a, 3)
+
+	snap := reg.Snapshot()
+	if got := snap["adcache_windows_total"].(int64); got != a.Windows() {
+		t.Errorf("adcache_windows_total = %v, want %d", got, a.Windows())
+	}
+	ts := a.TuningState()
+	for name, want := range map[string]float64{
+		"adcache_range_ratio":     a.CurrentParams().RangeRatio,
+		"adcache_point_threshold": a.CurrentParams().PointThreshold,
+		"adcache_scan_b":          a.CurrentParams().ScanB,
+		"adcache_reward":          ts.Reward,
+		"adcache_h_estimate":      ts.HEstimate,
+		"adcache_h_smoothed":      ts.HSmoothed,
+		"adcache_actor_lr":        ts.ActorLR,
+		"adcache_actor_loss":      ts.ActorLoss,
+		"adcache_critic_loss":     ts.CriticLoss,
+	} {
+		got, ok := snap[name].(float64)
+		if !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+	// Cache traffic shows up in the aggregate and per-shard series.
+	if hits := snap["cache_range_get_hits_total"].(int64); hits == 0 {
+		t.Error("cache_range_get_hits_total = 0 after repeated lookups")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `cache_block_shard_hits_total{shard="0"}`) {
+		t.Error("per-shard block series missing from Prometheus output")
+	}
+}
+
+// TestMetricsCountersUnified checks every strategy answers Counters() with
+// the fields its caches own — the interface that replaced the type-switch.
+func TestMetricsCountersUnified(t *testing.T) {
+	key, val := []byte("k"), []byte("v")
+
+	b := NewBlockOnly(1 << 20)
+	b.BlockCache().Insert(7, 0, []byte("block"), false)
+	if _, ok := b.BlockCache().Get(7, 0); !ok {
+		t.Fatal("block cache miss after insert")
+	}
+	if c := b.Counters(); c.BlockHits != 1 || c.BlockCapacity != 1<<20 || c.KVHits != 0 {
+		t.Errorf("BlockOnly counters = %+v", c)
+	}
+
+	k := NewKVOnly(1 << 20)
+	k.OnPointResult(key, val, 1)
+	k.GetCached(key)
+	k.GetCached([]byte("missing"))
+	if c := k.Counters(); c.KVHits != 1 || c.KVMisses != 1 || c.BlockHits != 0 {
+		t.Errorf("KVOnly counters = %+v", c)
+	}
+
+	r := NewRangeOnly(1<<20, "lru", nil)
+	r.OnPointResult(key, val, 1)
+	r.GetCached(key)
+	if c := r.Counters(); c.RangeGetHits != 1 || c.RangeEntries != 1 {
+		t.Errorf("RangeOnly counters = %+v", c)
+	}
+
+	a := newTestAdCache(t, Config{DisableAdmission: true})
+	a.OnPointResult(key, val, 1)
+	a.GetCached(key)
+	if c := a.Counters(); c.RangeGetHits != 1 || c.BlockCapacity == 0 {
+		t.Errorf("AdCache counters = %+v", c)
+	}
+}

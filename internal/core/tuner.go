@@ -54,9 +54,25 @@ func (a *AdCache) tuneOnce() {
 	params := a.decodeAction(action)
 	a.applyParams(params)
 
-	a.windowsClosed.Add(1)
+	windows := a.windowsClosed.Add(1)
+
+	// Publish the controller view for metrics scrapes. The agent is owned by
+	// this goroutine, so its accessors are read here and copied under the
+	// lock — GaugeFuncs read the copy, never the agent.
+	actorLoss, criticLoss := a.agent.Losses()
+	a.mu.Lock()
+	a.tuning = TuningState{
+		Windows:    windows,
+		AgentSteps: a.agent.Steps(),
+		HEstimate:  hEst,
+		HSmoothed:  smoothed,
+		Reward:     lrDelta,
+		ActorLR:    a.agent.ActorLR(),
+		ActorLoss:  actorLoss,
+		CriticLoss: criticLoss,
+		Params:     params,
+	}
 	if a.cfg.RecordTrace {
-		a.mu.Lock()
 		a.trace = append(a.trace, WindowTrace{
 			Window:    w,
 			HEstimate: hEst,
@@ -65,8 +81,8 @@ func (a *AdCache) tuneOnce() {
 			Params:    params,
 			ActorLR:   a.agent.ActorLR(),
 		})
-		a.mu.Unlock()
 	}
+	a.mu.Unlock()
 }
 
 // decodeAction maps the actor's [0,1] outputs onto concrete parameters.

@@ -34,12 +34,18 @@ func (d *DB) commit(ops []batchOp) error {
 	if d.closing.Load() {
 		return ErrClosed
 	}
+	start := time.Now()
+	defer d.metrics.commitNanos.ObserveSince(start)
+
 	w := &commitWaiter{ops: ops, done: make(chan struct{})}
 	d.pendMu.Lock()
 	d.pending = append(d.pending, w)
 	d.pendMu.Unlock()
 
 	d.commitMu.Lock()
+	// Everything up to acquiring commitMu is time spent waiting on other
+	// groups (the group-commit queueing delay).
+	d.metrics.commitWait.ObserveSince(start)
 	select {
 	case <-w.done:
 		// An earlier leader already committed us as a follower.
@@ -79,6 +85,7 @@ func (d *DB) commitGroup(group []*commitWaiter) error {
 	for _, g := range group {
 		total += len(g.ops)
 	}
+	d.metrics.writeGroupOps.Observe(int64(total))
 	// Sequence numbers advance even if the WAL append fails part-way: some
 	// records may have reached the log, and a later successful commit must
 	// not reuse their sequence numbers.
@@ -152,6 +159,7 @@ func (d *DB) commitGroup(group []*commitWaiter) error {
 // and applies the paper's slowdown delay while L0 sits between the compact
 // and stop triggers. Caller holds commitMu.
 func (d *DB) waitForWriteRoom() error {
+	start := time.Now()
 	d.mu.Lock()
 	stalled := false
 	for {
@@ -187,6 +195,9 @@ func (d *DB) waitForWriteRoom() error {
 	d.mu.Unlock()
 	if slowdown {
 		time.Sleep(d.opts.L0SlowdownDelay)
+	}
+	if stalled || slowdown {
+		d.metrics.stallNanos.ObserveSince(start)
 	}
 	return nil
 }

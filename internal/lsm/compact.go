@@ -3,6 +3,7 @@ package lsm
 import (
 	"bytes"
 	"sort"
+	"time"
 
 	"adcache/internal/compaction"
 	"adcache/internal/keys"
@@ -35,6 +36,8 @@ func (d *DB) compactLoop() error {
 // version, version changes are serialised by compactMu (held here), and the
 // version GC only deletes files referenced by no live version.
 func (d *DB) runCompaction(plan *compaction.Plan) error {
+	start := time.Now()
+	defer d.metrics.compactNanos.ObserveSince(start)
 	inputs := plan.Files()
 	iters := make([]internalIterator, 0, len(inputs))
 	for _, f := range inputs {

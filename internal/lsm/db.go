@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adcache/internal/compaction"
 	"adcache/internal/keys"
 	"adcache/internal/manifest"
 	"adcache/internal/memtable"
+	"adcache/internal/metrics"
 	"adcache/internal/sstable"
 	"adcache/internal/vfs"
 	"adcache/internal/wal"
@@ -55,6 +57,11 @@ type DB struct {
 	strategy CacheStrategy
 	store    *manifest.Store
 	tc       *tableCache
+
+	// reg/metrics are the observability layer: hot-path histograms plus
+	// scrape-time bridges over the counters below (see metrics.go).
+	reg     *metrics.Registry
+	metrics dbMetrics
 
 	// commitMu serialises write groups: its holder is the group leader and
 	// the only goroutine touching the WAL writer and seqAlloc.
@@ -143,6 +150,10 @@ func Open(opts Options) (*DB, error) {
 	if strategy == nil {
 		strategy = NoCache{}
 	}
+	reg := opts.MetricsRegistry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	db := &DB{
 		opts:       opts,
 		fs:         fs,
@@ -150,7 +161,9 @@ func Open(opts Options) (*DB, error) {
 		store:      manifest.NewStore(fs, opts.Dir),
 		roundRobin: make(map[int][]byte),
 		memSeed:    opts.Seed,
+		reg:        reg,
 	}
+	db.registerMetrics(reg)
 	db.bgCond = sync.NewCond(&db.mu)
 	db.tc = newTableCache(fs, opts.Dir, strategy.BlockCache())
 	db.mem = memtable.New(db.nextMemSeedLocked())
@@ -168,6 +181,9 @@ func Open(opts Options) (*DB, error) {
 		db.nextFileNum.Store(st.NextFileNum)
 		oldWALs = st.WALNums
 		if err := db.replayWALs(oldWALs); err != nil {
+			return nil, err
+		}
+		if err := db.flushRecovered(); err != nil {
 			return nil, err
 		}
 	} else {
@@ -220,6 +236,32 @@ func (d *DB) replayWALs(nums []uint64) error {
 			d.lastSeq = maxSeq
 		}
 	}
+	return nil
+}
+
+// flushRecovered persists the memtable rebuilt by replayWALs as an L0
+// table. It must run before startWAL retires the replayed logs: without
+// it the recovered entries exist only in memory while the manifest stops
+// listing the logs that held them, so a second crash before the next
+// flush would lose every acknowledged write from before the first crash.
+// Single-threaded (no other goroutine exists yet); the version installed
+// here is persisted by startWAL's manifest save.
+func (d *DB) flushRecovered() error {
+	if d.mem.Empty() {
+		return nil
+	}
+	start := time.Now()
+	meta, err := d.writeMemTable(d.mem)
+	if err != nil {
+		return err
+	}
+	d.metrics.flushNanos.ObserveSince(start)
+	nv := d.version.Clone()
+	nv.Levels[0] = append([]*manifest.FileMeta{meta}, nv.Levels[0]...)
+	d.installVersion(nv, nil)
+	d.flushes++
+	d.flushedBytes += int64(meta.Size)
+	d.mem = memtable.New(d.nextMemSeedLocked())
 	return nil
 }
 
@@ -285,6 +327,9 @@ func (d *DB) Delete(key []byte) error {
 // Get returns the value for key, following the paper's query-handling path:
 // range/result cache → MemTable → block cache → disk.
 func (d *DB) Get(key []byte) ([]byte, bool, error) {
+	start := time.Now()
+	defer d.metrics.getNanos.ObserveSince(start)
+
 	// 1. Result cache.
 	if v, found, ok := d.strategy.GetCached(key); ok {
 		return v, found, nil
@@ -418,6 +463,8 @@ func (d *DB) scan(start, end []byte, n int) ([]KV, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	begin := time.Now()
+	defer d.metrics.scanNanos.ObserveSince(begin)
 	// 1. Result cache. With an end bound the cached answer is complete only
 	// if it provably reaches end: contiguous entries cover [start, last],
 	// so an entry at or past end proves every live key in [start, end) is

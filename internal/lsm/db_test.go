@@ -249,6 +249,39 @@ func TestRecoveryWithoutClose(t *testing.T) {
 	}
 }
 
+func TestRecoverySurvivesSecondCrash(t *testing.T) {
+	// A crash right after recovery must not lose the replayed writes:
+	// Open retires the old logs, so it must first persist the recovered
+	// memtable as an L0 table. Without that, abandoning the second
+	// instance before any flush dropped every pre-crash write.
+	fs := vfs.NewMem()
+	opts := testOptions(fs)
+	db := mustOpen(t, opts)
+	for i := 0; i < 100; i++ {
+		if err := db.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash #1: abandon without Close, reopen, verify, then crash again
+	// immediately — no writes, no Flush, no Close.
+	db2 := mustOpen(t, opts)
+	if _, ok, err := db2.Get(key(0)); err != nil || !ok {
+		t.Fatalf("Get after first crash: ok=%v err=%v", ok, err)
+	}
+	if db2.Metrics().Flushes == 0 {
+		t.Fatal("recovery did not flush the replayed memtable")
+	}
+	// Crash #2: reopen again from the same FS.
+	db3 := mustOpen(t, opts)
+	defer db3.Close()
+	for i := 0; i < 100; i++ {
+		v, ok, err := db3.Get(key(i))
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("Get(%s) after second crash = %q ok=%v err=%v", key(i), v, ok, err)
+		}
+	}
+}
+
 func TestIOStatsCountBlockReads(t *testing.T) {
 	db := mustOpen(t, testOptions(vfs.NewMem()))
 	defer db.Close()

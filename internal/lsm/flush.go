@@ -1,6 +1,8 @@
 package lsm
 
 import (
+	"time"
+
 	"adcache/internal/keys"
 	"adcache/internal/manifest"
 	"adcache/internal/memtable"
@@ -98,6 +100,8 @@ func (d *DB) flushImm() error {
 	if im == nil {
 		return nil
 	}
+	start := time.Now()
+	defer d.metrics.flushNanos.ObserveSince(start)
 
 	meta, err := d.writeMemTable(im.mem)
 	if err != nil {

@@ -1,0 +1,110 @@
+package lsm
+
+import (
+	"strings"
+	"testing"
+
+	"adcache/internal/metrics"
+	"adcache/internal/vfs"
+)
+
+// TestMetricsEnginePopulated drives enough traffic to flush and asserts the
+// engine's latency histograms and shape gauges carry real observations.
+func TestMetricsEnginePopulated(t *testing.T) {
+	reg := metrics.NewRegistry()
+	opts := testOptions(vfs.NewMem())
+	opts.MetricsRegistry = reg
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := db.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, ok, err := db.Get(key(i)); err != nil || !ok {
+			t.Fatalf("Get(%s): ok=%v err=%v", key(i), ok, err)
+		}
+	}
+	if _, err := db.Scan(key(0), 50); err != nil {
+		t.Fatal(err)
+	}
+
+	hists := make(map[string]metrics.HistogramSnapshot)
+	reg.EachHistogram(func(name string, s metrics.HistogramSnapshot) { hists[name] = s })
+	if s := hists["lsm_get_nanos"]; s.Count != 200 {
+		t.Errorf("lsm_get_nanos count = %d, want 200", s.Count)
+	}
+	if s := hists["lsm_scan_nanos"]; s.Count != 1 {
+		t.Errorf("lsm_scan_nanos count = %d, want 1", s.Count)
+	}
+	if s := hists["lsm_commit_nanos"]; s.Count != n {
+		t.Errorf("lsm_commit_nanos count = %d, want %d", s.Count, n)
+	}
+	if s := hists["lsm_flush_nanos"]; s.Count == 0 || s.Sum <= 0 {
+		t.Errorf("lsm_flush_nanos = %+v, want observations", s)
+	}
+	if s := hists["lsm_write_group_ops"]; s.Count != n || s.Sum != n {
+		t.Errorf("lsm_write_group_ops = %+v, want count=sum=%d", s, n)
+	}
+
+	snap := reg.Snapshot()
+	m := db.Metrics()
+	if got := snap["lsm_flushes_total"].(int64); got != m.Flushes {
+		t.Errorf("lsm_flushes_total = %d, engine says %d", got, m.Flushes)
+	}
+	if got := snap["lsm_user_bytes_total"].(int64); got != m.UserBytes || got == 0 {
+		t.Errorf("lsm_user_bytes_total = %d, engine says %d", got, m.UserBytes)
+	}
+	if got := snap[`lsm_level_files{level="0"}`]; got == nil {
+		t.Error("per-level gauge lsm_level_files{level=\"0\"} missing")
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE lsm_get_nanos summary",
+		`lsm_get_nanos{quantile="0.99"}`,
+		"lsm_get_nanos_count 200",
+		"# TYPE lsm_flushes_total counter",
+		`lsm_level_files{level="0"}`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+}
+
+// TestMetricsPrivateRegistry checks that a DB opened without a registry gets
+// its own, and that two such DBs never share series (no global state).
+func TestMetricsPrivateRegistry(t *testing.T) {
+	db1 := mustOpen(t, testOptions(vfs.NewMem()))
+	defer db1.Close()
+	db2 := mustOpen(t, testOptions(vfs.NewMem()))
+	defer db2.Close()
+	if db1.MetricsRegistry() == db2.MetricsRegistry() {
+		t.Fatal("independent DBs share a metrics registry")
+	}
+	if err := db1.Put(key(1), val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db1.Get(key(1)); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	db2.MetricsRegistry().EachHistogram(func(name string, s metrics.HistogramSnapshot) {
+		if s.Count > 0 {
+			found = true
+		}
+	})
+	if found {
+		t.Fatal("db1 traffic observed in db2's registry")
+	}
+}

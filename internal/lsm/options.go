@@ -3,6 +3,7 @@ package lsm
 import (
 	"time"
 
+	"adcache/internal/metrics"
 	"adcache/internal/vfs"
 )
 
@@ -49,6 +50,12 @@ type Options struct {
 
 	// Strategy receives cache callbacks; nil disables all caching.
 	Strategy CacheStrategy
+
+	// MetricsRegistry receives the engine's latency histograms, counters
+	// and tree-shape gauges. Nil creates a private registry, so metrics
+	// collection is always on (it costs two clock reads per operation) and
+	// multiple DBs in one process never collide.
+	MetricsRegistry *metrics.Registry
 
 	// InlineCompaction runs flushes and compactions synchronously on the
 	// writer's goroutine, the pre-concurrency behaviour: every flush point

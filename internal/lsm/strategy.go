@@ -16,6 +16,32 @@ type ScanEntry struct {
 	Value []byte
 }
 
+// CacheCounters aggregates the counters of whichever caches a strategy
+// runs. Fields for absent caches stay zero, so one shape serves every
+// strategy — the engine and its tools never type-switch on concrete
+// strategy types.
+type CacheCounters struct {
+	BlockHits      int64
+	BlockMisses    int64
+	BlockEvictions int64
+	BlockUsed      int64
+	BlockCapacity  int64
+
+	RangeGetHits    int64
+	RangeGetMisses  int64
+	RangeScanHits   int64
+	RangeScanMisses int64
+	RangePartials   int64
+	RangeEvictions  int64
+	RangeUsed       int64
+	RangeCapacity   int64
+	RangeEntries    int
+
+	KVHits      int64
+	KVMisses    int64
+	KVEvictions int64
+}
+
 // CacheStrategy is the integration point between the engine and a caching
 // scheme, realising the paper's query-handling and cache-fill paths
 // (Figure 5). All methods must be safe for concurrent use.
@@ -70,6 +96,10 @@ type CacheStrategy interface {
 	// OnCompaction reports that a compaction replaced oldFiles with
 	// newFiles, letting strategies account invalidation.
 	OnCompaction(oldFiles, newFiles []uint64)
+
+	// Counters snapshots the strategy's cache counters — the unified
+	// observability surface every strategy provides.
+	Counters() CacheCounters
 }
 
 // NoCache is a CacheStrategy that caches nothing; it yields the engine's
@@ -99,3 +129,6 @@ func (NoCache) ScanBlockFillQuota(int) (int64, bool) { return 0, false }
 
 // OnCompaction implements CacheStrategy.
 func (NoCache) OnCompaction([]uint64, []uint64) {}
+
+// Counters implements CacheStrategy: the uncached baseline has none.
+func (NoCache) Counters() CacheCounters { return CacheCounters{} }

@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a registered metric for exposition.
+type Kind int
+
+// The metric kinds. Func-backed variants share the exposition type of
+// their direct counterparts.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindFloatGauge
+	KindHistogram
+	KindCounterFunc
+	KindGaugeFunc
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter, KindCounterFunc:
+		return "counter"
+	case KindGauge, KindFloatGauge, KindGaugeFunc:
+		return "gauge"
+	case KindHistogram:
+		return "summary"
+	}
+	return "untyped"
+}
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind Kind
+
+	counter *Counter
+	gauge   *Gauge
+	fgauge  *FloatGauge
+	hist    *Histogram
+	cfunc   func() int64
+	gfunc   func() float64
+}
+
+// value returns the entry's current scalar value (histograms return their
+// observation count; use hist for detail).
+func (e *entry) value() float64 {
+	switch e.kind {
+	case KindCounter:
+		return float64(e.counter.Value())
+	case KindGauge:
+		return float64(e.gauge.Value())
+	case KindFloatGauge:
+		return e.fgauge.Value()
+	case KindCounterFunc:
+		return float64(e.cfunc())
+	case KindGaugeFunc:
+		return e.gfunc()
+	case KindHistogram:
+		return float64(e.hist.Snapshot().Count)
+	}
+	return 0
+}
+
+// Registry is a named collection of metrics. Metric names follow the
+// Prometheus convention and may carry a fixed label set inline, e.g.
+// `cache_shard_hits_total{cache="block",shard="3"}`.
+//
+// Constructors are get-or-create: asking twice for the same name and kind
+// returns the same metric, so independent components can share a series
+// without coordinating. Asking for an existing name with a different kind
+// panics — that is always a programming error. Func-backed metrics cannot
+// be deduplicated (the closure is the metric) and panic on any collision.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// lookup returns the existing entry for name after checking the kind, or
+// nil when the name is free. Caller holds r.mu.
+func (r *Registry) lookup(name string, kind Kind) *entry {
+	e, ok := r.entries[name]
+	if !ok {
+		return nil
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("metrics: %q re-registered as %v (was %v)", name, kind, e.kind))
+	}
+	return e
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, KindCounter); e != nil {
+		return e.counter
+	}
+	c := &Counter{}
+	r.entries[name] = &entry{name: name, help: help, kind: KindCounter, counter: c}
+	return c
+}
+
+// Gauge returns the integer gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, KindGauge); e != nil {
+		return e.gauge
+	}
+	g := &Gauge{}
+	r.entries[name] = &entry{name: name, help: help, kind: KindGauge, gauge: g}
+	return g
+}
+
+// FloatGauge returns the float gauge registered under name, creating it if
+// new.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, KindFloatGauge); e != nil {
+		return e.fgauge
+	}
+	g := &FloatGauge{}
+	r.entries[name] = &entry{name: name, help: help, kind: KindFloatGauge, fgauge: g}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if new.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.lookup(name, KindHistogram); e != nil {
+		return e.hist
+	}
+	h := &Histogram{}
+	r.entries[name] = &entry{name: name, help: help, kind: KindHistogram, hist: h}
+	return h
+}
+
+// CounterFunc registers a counter whose value is computed by fn at
+// exposition time — the bridge for pre-existing engine counters. Panics if
+// name is taken.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		panic(fmt.Sprintf("metrics: duplicate registration of func metric %q", name))
+	}
+	r.entries[name] = &entry{name: name, help: help, kind: KindCounterFunc, cfunc: fn}
+}
+
+// GaugeFunc registers a gauge computed by fn at exposition time. Panics if
+// name is taken.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		panic(fmt.Sprintf("metrics: duplicate registration of func metric %q", name))
+	}
+	r.entries[name] = &entry{name: name, help: help, kind: KindGaugeFunc, gfunc: fn}
+}
+
+// sortedEntries returns the entries ordered by name (label-stripped base
+// name first, so all series of one metric are adjacent as Prometheus
+// requires).
+func (r *Registry) sortedEntries() []*entry {
+	r.mu.RLock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := baseName(out[i].name), baseName(out[j].name)
+		if bi != bj {
+			return bi < bj
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// baseName strips an inline label set from a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// withLabel appends one label=value pair to a (possibly already labeled)
+// metric name.
+func withLabel(name, label string) string {
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// HistogramSummary is the exported JSON shape of one histogram.
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summarize reduces a snapshot to the standard summary quantiles.
+func Summarize(s HistogramSnapshot) HistogramSummary {
+	return HistogramSummary{
+		Count: s.Count,
+		Sum:   s.Sum,
+		Max:   s.Max,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+	}
+}
+
+// Snapshot returns every metric's current value keyed by name: scalars as
+// numbers, histograms as HistogramSummary. This is the payload served under
+// /debug/vars and embedded in unified stats snapshots.
+func (r *Registry) Snapshot() map[string]interface{} {
+	out := make(map[string]interface{})
+	for _, e := range r.sortedEntries() {
+		switch e.kind {
+		case KindHistogram:
+			out[e.name] = Summarize(e.hist.Snapshot())
+		case KindCounter, KindCounterFunc, KindGauge:
+			out[e.name] = int64(e.value())
+		default:
+			out[e.name] = e.value()
+		}
+	}
+	return out
+}
+
+// EachHistogram calls fn for every registered histogram in name order.
+func (r *Registry) EachHistogram(fn func(name string, s HistogramSnapshot)) {
+	for _, e := range r.sortedEntries() {
+		if e.kind == KindHistogram {
+			fn(e.name, e.hist.Snapshot())
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteHistogramTable prints a human-readable summary table of every
+// histogram in the registry — the adbench/lsmtool view of the latency
+// distributions. Histograms whose base name ends in `_nanos` are formatted
+// as durations; everything else as plain magnitudes.
+func (r *Registry) WriteHistogramTable(w io.Writer) {
+	const header = "%-28s %10s %10s %10s %10s %10s %10s\n"
+	fmt.Fprintf(w, header, "histogram", "count", "mean", "p50", "p90", "p99", "max")
+	n := 0
+	r.EachHistogram(func(name string, s HistogramSnapshot) {
+		n++
+		format := formatMagnitude
+		if strings.HasSuffix(baseName(name), "_nanos") {
+			format = formatNanos
+		}
+		fmt.Fprintf(w, header, name,
+			fmt.Sprintf("%d", s.Count),
+			format(s.Mean()),
+			format(s.Quantile(0.50)),
+			format(s.Quantile(0.90)),
+			format(s.Quantile(0.99)),
+			format(float64(s.Max)))
+	})
+	if n == 0 {
+		fmt.Fprintln(w, "(no histograms registered)")
+	}
+}
+
+// formatNanos renders a nanosecond magnitude as a rounded duration.
+func formatNanos(v float64) string {
+	d := time.Duration(v)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}
+
+// formatMagnitude renders a dimensionless value compactly.
+func formatMagnitude(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fk", v/1e3)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

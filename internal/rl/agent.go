@@ -97,6 +97,11 @@ type Agent struct {
 	prevAction []float32
 
 	steps int64
+
+	// Last-update training losses, for tuning exposition: the critic's TD
+	// squared error and the actor's policy-gradient surrogate −A·logπ(a|s).
+	lastCriticLoss float64
+	lastActorLoss  float64
 }
 
 // New returns an agent with freshly initialised networks.
@@ -183,6 +188,7 @@ func (a *Agent) Update(reward, lrDelta float64, newState []float32) {
 	target := reward + a.cfg.Gamma*vNext
 	vPrev := float64(a.critic.Forward(a.prevState)[0])
 	tdErr := target - vPrev // advantage estimate
+	a.lastCriticLoss = tdErr * tdErr
 	// dLoss/dV = V − target  (squared error).
 	a.critic.Backward([]float32{float32(vPrev - target)})
 	a.critic.StepAdam(a.cfg.CriticLR)
@@ -192,13 +198,24 @@ func (a *Agent) Update(reward, lrDelta float64, newState []float32) {
 	// Ascend advantage·logπ → descend loss with dL/dμ = −A·(a−μ)/σ².
 	mu := a.actor.Forward(a.prevState)
 	grad := make([]float32, ActionDim)
+	var logPi float64
 	for i := range grad {
 		std := a.noiseStd(i)
-		g := -tdErr * (float64(a.prevAction[i]) - float64(mu[i])) / (std * std)
+		diff := float64(a.prevAction[i]) - float64(mu[i])
+		logPi -= diff * diff / (2 * std * std)
+		g := -tdErr * diff / (std * std)
 		grad[i] = float32(clampF(g, -10, 10))
 	}
+	a.lastActorLoss = -tdErr * logPi
 	a.actor.Backward(grad)
 	a.actor.StepAdam(a.actorLR)
+}
+
+// Losses reports the actor and critic losses of the most recent Update —
+// the auditable learning signal the metrics layer exposes per window. Like
+// every Agent method it must be called from the tuning goroutine.
+func (a *Agent) Losses() (actor, critic float64) {
+	return a.lastActorLoss, a.lastCriticLoss
 }
 
 // ActorLR reports the current adaptive learning rate.

@@ -10,36 +10,111 @@
 //	GET    /scan?start=K&n=16        → 200 JSON [{"key":...,"value":...}]
 //	GET    /scan?start=K&end=L       → bounded variant
 //	POST   /batch      JSON ops      → 204 (atomic)
-//	GET    /stats                    → 200 JSON engine + cache counters
+//	GET    /stats                    → 200 JSON adcache.MetricsSnapshot
+//	GET    /metrics                  → 200 Prometheus text exposition
+//	GET    /debug/vars               → 200 expvar JSON + registry snapshot
 //
 // Keys and values are raw bytes in paths/bodies (keys URL-escaped); the
-// scan and stats endpoints return JSON.
+// scan and stats endpoints return JSON. Every request is measured into the
+// DB's metrics registry (http_requests_total and http_request_nanos, both
+// labeled by route), so the server's own latency shows up next to the
+// engine's under /metrics.
 package server
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"adcache"
+	"adcache/internal/metrics"
 )
 
-// Handler returns an http.Handler serving db.
-func Handler(db *adcache.DB) http.Handler {
+// Options configures a Handler.
+type Options struct {
+	// ReadOnly rejects every mutating request (PUT/POST/DELETE on /kv,
+	// POST /batch) with 403, leaving reads and observability endpoints up —
+	// the mode for exposing a store to dashboards without write access.
+	ReadOnly bool
+	// MaxBodyBytes caps request bodies on /kv and /batch
+	// (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+// Handler returns an http.Handler serving db with default Options.
+func Handler(db *adcache.DB) http.Handler { return NewHandler(db, Options{}) }
+
+// NewHandler returns an http.Handler serving db under opts.
+func NewHandler(db *adcache.DB, opts Options) http.Handler {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
+	s := &server{db: db, opts: opts, reg: db.Registry()}
 	mux := http.NewServeMux()
-	s := &server{db: db}
 	mux.HandleFunc("/kv/", s.handleKV)
 	mux.HandleFunc("/scan", s.handleScan)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/vars", s.handleDebugVars)
+	return s.instrument(mux)
 }
 
 type server struct {
-	db *adcache.DB
+	db   *adcache.DB
+	opts Options
+	reg  *metrics.Registry
+}
+
+// route classifies a request path into a bounded label set, so the metric
+// cardinality cannot grow with the key space.
+func route(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/kv/"):
+		return "kv"
+	case path == "/scan":
+		return "scan"
+	case path == "/batch":
+		return "batch"
+	case path == "/stats":
+		return "stats"
+	case path == "/metrics":
+		return "metrics"
+	case strings.HasPrefix(path, "/debug/"):
+		return "debug"
+	default:
+		return "other"
+	}
+}
+
+// instrument wraps next with per-route request counting and latency
+// histograms on the DB's registry. Metrics are get-or-create, so the first
+// request on each route registers its series.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt := route(r.URL.Path)
+		h := s.reg.Histogram(fmt.Sprintf("http_request_nanos{route=%q}", rt),
+			"HTTP request latency by route.")
+		s.reg.Counter(fmt.Sprintf("http_requests_total{route=%q}", rt),
+			"HTTP requests served by route.").Inc()
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		h.ObserveSince(start)
+	})
+}
+
+// deny reports (and handles) a mutating request arriving in read-only mode.
+func (s *server) deny(w http.ResponseWriter) bool {
+	if !s.opts.ReadOnly {
+		return false
+	}
+	http.Error(w, "read-only mode", http.StatusForbidden)
+	return true
 }
 
 func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
@@ -61,7 +136,10 @@ func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Write(v)
 	case http.MethodPut, http.MethodPost:
-		value, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+		if s.deny(w) {
+			return
+		}
+		value, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -72,6 +150,9 @@ func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case http.MethodDelete:
+		if s.deny(w) {
+			return
+		}
 		if err := s.db.Delete([]byte(key)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -143,8 +224,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.deny(w) {
+		return
+	}
 	var ops []batchOp
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&ops); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&ops); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -167,39 +251,34 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// statsResponse is the JSON shape of /stats.
-type statsResponse struct {
-	Strategy    string                 `json:"strategy"`
-	SSTReads    int64                  `json:"sst_reads"`
-	LevelFiles  []int                  `json:"level_files"`
-	SortedRuns  int                    `json:"sorted_runs"`
-	Entries     uint64                 `json:"entries"`
-	Compactions int64                  `json:"compactions"`
-	Cache       adcache.CacheCounters  `json:"cache"`
-	AdCache     map[string]interface{} `json:"adcache,omitempty"`
+// handleStats serves the DB's unified snapshot verbatim — one struct, one
+// JSON shape, no per-strategy cases.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.db.Metrics())
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	m := s.db.LSM().Metrics()
-	resp := statsResponse{
-		Strategy:    s.db.Strategy().String(),
-		SSTReads:    s.db.SSTReads(),
-		LevelFiles:  m.LevelFiles,
-		SortedRuns:  m.SortedRuns,
-		Entries:     m.TotalEntries,
-		Compactions: m.Compactions,
-		Cache:       s.db.CacheCounters(),
+// handleMetrics serves the registry in the Prometheus text exposition
+// format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// handleDebugVars serves the standard expvar payload (cmdline, memstats,
+// and anything the process published) with the DB's registry snapshot
+// appended under "adcache". The DB registry is merged here rather than
+// expvar.Publish'ed because Publish is process-global and panics on
+// duplicates — one process may run many DBs.
+func (s *server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value.String())
+	})
+	snap, err := json.Marshal(s.db.Registry().Snapshot())
+	if err != nil {
+		snap = []byte("{}")
 	}
-	if ad := s.db.AdCache(); ad != nil {
-		p := ad.CurrentParams()
-		resp.AdCache = map[string]interface{}{
-			"range_ratio":     p.RangeRatio,
-			"point_threshold": p.PointThreshold,
-			"scan_a":          p.ScanA,
-			"scan_b":          p.ScanB,
-			"windows":         ad.Windows(),
-		}
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	fmt.Fprintf(w, "%q: %s\n}\n", "adcache", snap)
 }

@@ -123,14 +123,15 @@ func TestBatchEndpoint(t *testing.T) {
 }
 
 func TestStatsEndpoint(t *testing.T) {
-	srv, _ := testServer(t)
+	srv, db := testServer(t)
 	do(t, "PUT", srv.URL+"/kv/x", "y")
 	do(t, "GET", srv.URL+"/kv/x", "")
 	resp, body := do(t, "GET", srv.URL+"/stats", "")
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var st statsResponse
+	// /stats serves adcache.MetricsSnapshot verbatim.
+	var st adcache.MetricsSnapshot
 	if err := json.Unmarshal([]byte(body), &st); err != nil {
 		t.Fatal(err)
 	}
@@ -138,6 +139,129 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatalf("strategy = %q", st.Strategy)
 	}
 	if st.AdCache == nil {
-		t.Fatal("adcache params missing")
+		t.Fatal("adcache controller state missing")
+	}
+	if st.Engine.LastSeq == 0 {
+		t.Fatal("engine metrics missing (LastSeq = 0 after a Put)")
+	}
+	want := db.Metrics()
+	if st.Strategy != want.Strategy || st.AdCache.Params != want.AdCache.Params {
+		t.Fatalf("served snapshot diverges from db.Metrics(): %+v vs %+v", st, want)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	do(t, "PUT", srv.URL+"/kv/m", "1")
+	do(t, "GET", srv.URL+"/kv/m", "")
+	resp, body := do(t, "GET", srv.URL+"/metrics", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE lsm_get_nanos summary",
+		`lsm_get_nanos{quantile="0.99"}`,
+		"lsm_get_nanos_count",
+		"cache_block_hits_total",
+		"cache_range_get_hits_total",
+		`cache_block_shard_hits_total{shard="0"}`,
+		"adcache_range_ratio",
+		"adcache_actor_lr",
+		"trace_write_errors_total 0",
+		`adcache_strategy_info{strategy="AdCache"} 1`,
+		`http_requests_total{route="kv"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestMetricsDebugVars(t *testing.T) {
+	srv, _ := testServer(t)
+	do(t, "PUT", srv.URL+"/kv/d", "1")
+	resp, body := do(t, "GET", srv.URL+"/debug/vars", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var payload map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, body)
+	}
+	if _, ok := payload["memstats"]; !ok {
+		t.Fatal("standard expvar memstats missing")
+	}
+	var reg map[string]interface{}
+	if err := json.Unmarshal(payload["adcache"], &reg); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg["lsm_user_bytes_total"]; !ok {
+		t.Fatalf("registry snapshot missing engine counters: %v", reg)
+	}
+}
+
+func TestMetricsRequestLatency(t *testing.T) {
+	srv, db := testServer(t)
+	for i := 0; i < 5; i++ {
+		do(t, "GET", srv.URL+"/kv/nope", "")
+	}
+	snap := db.Registry().Snapshot()
+	v, ok := snap[`http_requests_total{route="kv"}`]
+	if !ok || v.(int64) != 5 {
+		t.Fatalf("kv request counter = %v (ok=%v)", v, ok)
+	}
+	if _, ok := snap[`http_request_nanos{route="kv"}`]; !ok {
+		t.Fatal("kv latency histogram missing")
+	}
+}
+
+func TestReadOnly(t *testing.T) {
+	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(db, Options{ReadOnly: true}))
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	for _, tc := range []struct{ method, path, body string }{
+		{"PUT", "/kv/x", "y"},
+		{"DELETE", "/kv/x", ""},
+		{"POST", "/batch", `[{"op":"put","key":"a","value":"1"}]`},
+	} {
+		if resp, _ := do(t, tc.method, srv.URL+tc.path, tc.body); resp.StatusCode != 403 {
+			t.Errorf("%s %s in read-only mode: status %d, want 403", tc.method, tc.path, resp.StatusCode)
+		}
+	}
+	// Reads and observability stay up.
+	if resp, _ := do(t, "GET", srv.URL+"/kv/x", ""); resp.StatusCode != 404 {
+		t.Errorf("read-only GET status %d", resp.StatusCode)
+	}
+	for _, path := range []string{"/scan?start=a&n=2", "/stats", "/metrics", "/debug/vars"} {
+		if resp, _ := do(t, "GET", srv.URL+path, ""); resp.StatusCode != 200 {
+			t.Errorf("read-only GET %s status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestMaxBodyBytes(t *testing.T) {
+	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(db, Options{MaxBodyBytes: 16}))
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	if resp, _ := do(t, "PUT", srv.URL+"/kv/big", strings.Repeat("x", 64)); resp.StatusCode != 400 {
+		t.Fatalf("oversized body status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := do(t, "PUT", srv.URL+"/kv/ok", "small"); resp.StatusCode != 204 {
+		t.Fatalf("small body status %d", resp.StatusCode)
 	}
 }
