@@ -15,6 +15,13 @@
 // (Get/Scan/commit/flush/compaction percentiles from the metrics registry):
 //
 //	adbench -strategy adcache -scale quick
+//
+// With -readpath, adbench runs the read-path micro-benchmarks (uncached,
+// cached and bloom-negative Get, short cached scans, full iteration) and,
+// with -json, writes ns/op, B/op and allocs/op to -out (default
+// BENCH_READPATH.json) — the committed allocation-trajectory artifact:
+//
+//	adbench -readpath -json
 package main
 
 import (
@@ -38,8 +45,23 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override workload seed")
 		csvDir   = flag.String("csv", "", "also write raw results as CSV into this directory")
 		strategy = flag.String("strategy", "", "run a latency benchmark with this strategy (adcache|block|kv|range|lecar|cacheus|none) and print the histogram table")
+		readpath = flag.Bool("readpath", false, "run the read-path micro-benchmarks (ns/op, B/op, allocs/op)")
+		asJSON   = flag.Bool("json", false, "with -readpath, write results as JSON")
+		out      = flag.String("out", "BENCH_READPATH.json", "with -readpath -json, output file")
 	)
 	flag.Parse()
+
+	if *readpath {
+		n := 50_000
+		if *keys > 0 {
+			n = *keys
+		}
+		if err := runReadPath(n, *asJSON, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sc := harness.DefaultScale()
 	if *scale == "quick" {

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"adcache/internal/core"
+	"adcache/internal/lsm"
+	"adcache/internal/vfs"
+)
+
+// readPathResult is one benchmark row of the read-path trajectory file.
+type readPathResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// readPathReport is the BENCH_READPATH.json schema. The file is committed
+// alongside read-path changes so the allocation trajectory of the hot paths
+// is reviewable in diffs.
+type readPathReport struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	Keys        int              `json:"keys"`
+	ValueSize   int              `json:"value_size"`
+	Benchmarks  []readPathResult `json:"benchmarks"`
+}
+
+func rpKey(i int) []byte { return []byte(fmt.Sprintf("key%08d", i)) }
+func rpVal(i int) []byte { return []byte(fmt.Sprintf("value%08d", i)) }
+
+// rpDB builds a flushed, compacted in-memory store with n keys.
+func rpDB(n int, strategy lsm.CacheStrategy) (*lsm.DB, error) {
+	opts := lsm.DefaultOptions("benchdb")
+	opts.FS = vfs.NewMem()
+	opts.Strategy = strategy
+	db, err := lsm.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := db.Put(rpKey(i), rpVal(i)); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	if err := db.Flush(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if err := db.Compact(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// runReadPath runs the read-path micro-benchmarks via testing.Benchmark and
+// either prints a table or writes the JSON trajectory file.
+func runReadPath(n int, asJSON bool, outPath string) error {
+	type bench struct {
+		name string
+		prep func() (*lsm.DB, error)
+		run  func(db *lsm.DB, b *testing.B)
+	}
+	benches := []bench{
+		{
+			name: "get_uncached",
+			prep: func() (*lsm.DB, error) { return rpDB(n, nil) },
+			run: func(db *lsm.DB, b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				for i := 0; i < b.N; i++ {
+					if _, ok, err := db.Get(rpKey(rng.Intn(n))); err != nil || !ok {
+						b.Fatal("get failed")
+					}
+				}
+			},
+		},
+		{
+			name: "get_cached",
+			prep: func() (*lsm.DB, error) {
+				db, err := rpDB(n, core.NewBlockOnly(256<<20))
+				if err != nil {
+					return nil, err
+				}
+				// One pass pulls every block into the cache.
+				for i := 0; i < n; i += 50 {
+					if _, ok, err := db.Get(rpKey(i)); err != nil || !ok {
+						db.Close()
+						return nil, fmt.Errorf("warm-up get failed")
+					}
+				}
+				return db, nil
+			},
+			run: func(db *lsm.DB, b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				for i := 0; i < b.N; i++ {
+					if _, ok, err := db.Get(rpKey(rng.Intn(n))); err != nil || !ok {
+						b.Fatal("get failed")
+					}
+				}
+			},
+		},
+		{
+			name: "get_bloom_negative",
+			prep: func() (*lsm.DB, error) { return rpDB(n, nil) },
+			run: func(db *lsm.DB, b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					absent := append(rpKey(i%n), 'x')
+					if _, ok, _ := db.Get(absent); ok {
+						b.Fatal("phantom key")
+					}
+				}
+			},
+		},
+		{
+			name: "scan16_cached",
+			prep: func() (*lsm.DB, error) { return rpDB(n, core.NewBlockOnly(256<<20)) },
+			run: func(db *lsm.DB, b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				for i := 0; i < b.N; i++ {
+					kvs, err := db.Scan(rpKey(rng.Intn(n-16)), 16)
+					if err != nil || len(kvs) != 16 {
+						b.Fatal("scan failed")
+					}
+				}
+			},
+		},
+		{
+			name: "iterate_full",
+			prep: func() (*lsm.DB, error) { return rpDB(n, nil) },
+			run: func(db *lsm.DB, b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					it, err := db.NewIter()
+					if err != nil {
+						b.Fatal(err)
+					}
+					got := 0
+					for ok := it.First(); ok; ok = it.Next() {
+						got++
+					}
+					it.Close()
+					if got != n {
+						b.Fatalf("iterated %d of %d", got, n)
+					}
+				}
+			},
+		},
+	}
+
+	report := readPathReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Keys:        n,
+		ValueSize:   len(rpVal(0)),
+	}
+	for _, bm := range benches {
+		db, err := bm.prep()
+		if err != nil {
+			return fmt.Errorf("%s: %w", bm.name, err)
+		}
+		run := bm.run
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			run(db, b)
+		})
+		db.Close()
+		res := readPathResult{
+			Name:        bm.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "  %-20s %12.1f ns/op %8d B/op %6d allocs/op  (n=%d)\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
+	}
+
+	if !asJSON {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	return nil
+}

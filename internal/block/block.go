@@ -119,12 +119,15 @@ func sharedPrefixLen(a, b []byte) int {
 // Compare is the key ordering used by Iter.Seek.
 type Compare func(a, b []byte) int
 
-// Iter iterates over a serialized block. The zero value is invalid; use
-// NewIter. Iter is not safe for concurrent use.
+// Iter iterates over a serialized block. A zero Iter must be initialised
+// with Init before use; an Iter may be re-initialised any number of times,
+// retaining its internal key buffer across blocks so steady-state iteration
+// allocates nothing. Iter is not safe for concurrent use.
 type Iter struct {
-	data     []byte // entries region only
-	restarts []uint32
-	cmp      Compare
+	data        []byte // entries region only
+	restarts    []byte // serialized restart array, 4 bytes per restart
+	numRestarts int
+	cmp         Compare
 
 	offset     int // offset of current entry within data
 	nextOffset int
@@ -135,25 +138,55 @@ type Iter struct {
 }
 
 // NewIter parses a serialized block. cmp must match the order the block was
-// built with.
+// built with. Callers on hot paths should hold an Iter and call Init
+// instead, which performs no allocation.
 func NewIter(data []byte, cmp Compare) (*Iter, error) {
+	it := new(Iter)
+	if err := it.Init(data, cmp); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// Init points the iterator at a serialized block, replacing any previous
+// state. The restart array is indexed directly out of the serialized
+// trailing bytes — no per-block slice is materialized — and the iterator's
+// key buffer is retained, so re-initialising a warm Iter allocates nothing.
+func (i *Iter) Init(data []byte, cmp Compare) error {
 	if len(data) < 4 {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
 	numRestarts := int(binary.LittleEndian.Uint32(data[len(data)-4:]))
 	restartsEnd := len(data) - 4
 	restartsStart := restartsEnd - 4*numRestarts
 	if numRestarts <= 0 || restartsStart < 0 {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
-	restarts := make([]uint32, numRestarts)
-	for i := range restarts {
-		restarts[i] = binary.LittleEndian.Uint32(data[restartsStart+4*i:])
-		if int(restarts[i]) > restartsStart {
-			return nil, ErrCorrupt
-		}
-	}
-	return &Iter{data: data[:restartsStart], restarts: restarts, cmp: cmp}, nil
+	i.data = data[:restartsStart]
+	i.restarts = data[restartsStart:restartsEnd]
+	i.numRestarts = numRestarts
+	i.cmp = cmp
+	i.offset, i.nextOffset = 0, 0
+	i.key = i.key[:0]
+	i.value = nil
+	i.valid = false
+	i.err = nil
+	return nil
+}
+
+// Reset returns the iterator to an empty state, retaining the key buffer so
+// a later Init stays allocation-free. Valid reports false and Err reports
+// nil until the next Init.
+func (i *Iter) Reset() {
+	key := i.key[:0]
+	*i = Iter{key: key}
+}
+
+// restart returns the entry offset of restart point n. Offsets are decoded
+// on demand from the serialized array; a malformed offset is reported by the
+// bounds checks in decodeAt/restartKey.
+func (i *Iter) restart(n int) int {
+	return int(binary.LittleEndian.Uint32(i.restarts[4*n:]))
 }
 
 // decodeAt decodes the entry at off, extending i.key from the shared prefix
@@ -223,18 +256,53 @@ func (i *Iter) Next() bool {
 	return true
 }
 
+// restartKey returns the key stored inline at entry offset off without
+// touching i.key. Restart entries have shared == 0, so the full key is
+// present in the serialized bytes and can be compared in place.
+func (i *Iter) restartKey(off int) ([]byte, bool) {
+	data := i.data
+	if off >= len(data) {
+		i.err = ErrCorrupt
+		return nil, false
+	}
+	shared, n1 := binary.Uvarint(data[off:])
+	if n1 <= 0 || shared != 0 {
+		i.err = ErrCorrupt
+		return nil, false
+	}
+	unshared, n2 := binary.Uvarint(data[off+n1:])
+	if n2 <= 0 {
+		i.err = ErrCorrupt
+		return nil, false
+	}
+	_, n3 := binary.Uvarint(data[off+n1+n2:])
+	if n3 <= 0 {
+		i.err = ErrCorrupt
+		return nil, false
+	}
+	keyStart := off + n1 + n2 + n3
+	keyEnd := keyStart + int(unshared)
+	if keyEnd > len(data) {
+		i.err = ErrCorrupt
+		return nil, false
+	}
+	return data[keyStart:keyEnd], true
+}
+
 // Seek positions the iterator at the first entry with key >= target.
 func (i *Iter) Seek(target []byte) bool {
 	// Binary search restart points for the last restart whose key <= target.
-	lo, hi := 0, len(i.restarts)-1
+	// Restart keys are compared in place out of the serialized block, so the
+	// search neither copies key bytes nor disturbs i.key.
+	lo, hi := 0, i.numRestarts-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		i.key = i.key[:0]
-		if i.decodeAt(int(i.restarts[mid])) < 0 {
+		rk, ok := i.restartKey(i.restart(mid))
+		if !ok {
 			i.valid = false
 			return false
 		}
-		if i.cmp(i.key, target) <= 0 {
+		if i.cmp(rk, target) <= 0 {
 			lo = mid
 		} else {
 			hi = mid - 1
@@ -242,7 +310,7 @@ func (i *Iter) Seek(target []byte) bool {
 	}
 	// Linear scan from the chosen restart.
 	i.key = i.key[:0]
-	off := int(i.restarts[lo])
+	off := i.restart(lo)
 	end := i.decodeAt(off)
 	if end < 0 {
 		i.valid = false

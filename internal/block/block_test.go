@@ -168,3 +168,141 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIterInitReuse(t *testing.T) {
+	a := buildBlock(t, 50)
+	b := func() []byte {
+		bld := NewBuilder(4)
+		for i := 0; i < 30; i++ {
+			bld.Add([]byte(fmt.Sprintf("other%04d", i)), []byte(fmt.Sprintf("v%04d", i)))
+		}
+		return bld.Finish()
+	}()
+
+	var it Iter
+	if err := it.Init(a, BytesCompare); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		n++
+	}
+	if n != 50 || it.Err() != nil {
+		t.Fatalf("first block: n=%d err=%v", n, it.Err())
+	}
+
+	// Re-Init over a different block must fully replace the state.
+	if err := it.Init(b, BytesCompare); err != nil {
+		t.Fatal(err)
+	}
+	if it.Valid() {
+		t.Fatal("valid before positioning")
+	}
+	if !it.Seek([]byte("other0015")) || string(it.Key()) != "other0015" {
+		t.Fatalf("Seek after re-Init: valid=%v key=%q", it.Valid(), it.Key())
+	}
+	n = 0
+	for ok := it.First(); ok; ok = it.Next() {
+		n++
+	}
+	if n != 30 || it.Err() != nil {
+		t.Fatalf("second block: n=%d err=%v", n, it.Err())
+	}
+}
+
+func TestIterInitRejectsCorrupt(t *testing.T) {
+	var it Iter
+	if err := it.Init(nil, BytesCompare); err == nil {
+		t.Fatal("nil block accepted")
+	}
+	if err := it.Init([]byte{1, 2, 3}, BytesCompare); err == nil {
+		t.Fatal("tiny block accepted")
+	}
+	bad := []byte{0, 0, 0, 0, 255, 255, 0, 0}
+	if err := it.Init(bad, BytesCompare); err == nil {
+		t.Fatal("bogus restart count accepted")
+	}
+}
+
+func TestIterReset(t *testing.T) {
+	data := buildBlock(t, 10)
+	var it Iter
+	if err := it.Init(data, BytesCompare); err != nil {
+		t.Fatal(err)
+	}
+	it.First()
+	it.Reset()
+	if it.Valid() || it.Err() != nil {
+		t.Fatal("Reset did not clear state")
+	}
+	if err := it.Init(data, BytesCompare); err != nil {
+		t.Fatal(err)
+	}
+	if !it.First() {
+		t.Fatal("iterator unusable after Reset+Init")
+	}
+}
+
+// TestSeekMatchesLinearScan cross-checks the in-place restart binary search
+// against a linear scan for every possible target, including between-key
+// and out-of-range probes, across restart intervals.
+func TestSeekMatchesLinearScan(t *testing.T) {
+	for _, interval := range []int{1, 2, 3, 4, 16, 64} {
+		bld := NewBuilder(interval)
+		const n = 137
+		for i := 0; i < n; i++ {
+			bld.Add([]byte(fmt.Sprintf("key%06d", i)), []byte(fmt.Sprintf("val%06d", i)))
+		}
+		data := bld.Finish()
+		it, err := NewIter(data, BytesCompare)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := func(target string, wantIdx int) {
+			t.Helper()
+			ok := it.Seek([]byte(target))
+			if it.Err() != nil {
+				t.Fatalf("interval %d Seek(%q): %v", interval, target, it.Err())
+			}
+			if (wantIdx < n) != ok {
+				t.Fatalf("interval %d Seek(%q) = %v, want positioned=%v", interval, target, ok, wantIdx < n)
+			}
+			if ok {
+				want := fmt.Sprintf("key%06d", wantIdx)
+				if string(it.Key()) != want {
+					t.Fatalf("interval %d Seek(%q) → %q, want %q", interval, target, it.Key(), want)
+				}
+			}
+		}
+		probe("", 0)
+		probe("aaa", 0)
+		for i := 0; i < n; i++ {
+			probe(fmt.Sprintf("key%06d", i), i)
+			probe(fmt.Sprintf("key%06d!", i), i+1)
+		}
+		probe("zzz", n)
+	}
+}
+
+// TestIterSeekWarmAllocs locks in the allocation-free seek: once the key
+// buffer has grown, Init+Seek on a warm iterator allocates nothing.
+func TestIterSeekWarmAllocs(t *testing.T) {
+	data := buildBlock(t, 200)
+	var it Iter
+	if err := it.Init(data, BytesCompare); err != nil {
+		t.Fatal(err)
+	}
+	target := []byte("key000150")
+	it.Seek(target) // grow the key buffer
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := it.Init(data, BytesCompare); err != nil {
+			t.Fatal(err)
+		}
+		if !it.Seek(target) {
+			t.Fatal("seek failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Init+Seek allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -48,6 +48,14 @@ func MakeSearch(userKey []byte, seq uint64) InternalKey {
 	return Make(userKey, seq, KindSet)
 }
 
+// AppendSearch appends the search key for (userKey, seq) to dst and returns
+// the extended slice. Passing dst[:0] of a retained buffer makes repeated
+// seeks allocation-free once the buffer has grown to the working key size.
+func AppendSearch(dst, userKey []byte, seq uint64) []byte {
+	dst = append(dst, userKey...)
+	return binary.LittleEndian.AppendUint64(dst, (seq<<8)|uint64(KindSet))
+}
+
 // UserKey returns the user-key prefix of ik.
 func (ik InternalKey) UserKey() []byte { return ik[:len(ik)-TrailerLen] }
 

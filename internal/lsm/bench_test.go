@@ -8,13 +8,17 @@ import (
 	"testing"
 	"time"
 
+	"adcache/internal/cache/blockcache"
 	"adcache/internal/vfs"
 )
 
-func benchDB(b *testing.B, n int) *DB {
+func benchDB(b *testing.B, n int) *DB { return benchDBStrategy(b, n, nil) }
+
+func benchDBStrategy(b *testing.B, n int, strategy CacheStrategy) *DB {
 	b.Helper()
 	opts := DefaultOptions("benchdb")
 	opts.FS = vfs.NewMem()
+	opts.Strategy = strategy
 	db, err := Open(opts)
 	if err != nil {
 		b.Fatal(err)
@@ -53,6 +57,26 @@ func BenchmarkDBPut(b *testing.B) {
 
 func BenchmarkDBGetUncached(b *testing.B) {
 	db := benchDB(b, 50_000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := db.Get(key(rng.Intn(50_000))); err != nil || !ok {
+			b.Fatal("get failed")
+		}
+	}
+	b.ReportMetric(float64(db.QueryBlockReads())/float64(b.N), "blockreads/op")
+}
+
+// BenchmarkDBGetCached measures the steady-state point lookup with every
+// block in the block cache — the path the zero-allocation work targets.
+func BenchmarkDBGetCached(b *testing.B) {
+	db := benchDBStrategy(b, 50_000, &blockOnlyStrategy{cache: blockcache.New(64 << 20)})
+	// One pass over the keyspace pulls every block into the cache.
+	for i := 0; i < 50_000; i += 50 {
+		if _, ok, err := db.Get(key(i)); err != nil || !ok {
+			b.Fatal("warm-up get failed")
+		}
+	}
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -126,6 +126,11 @@ type DB struct {
 	// and tombstones; atomic because compaction merges run outside mu.
 	obsoleteEntries atomic.Int64
 
+	// readPool recycles per-operation read scratch (seek-key buffers, block
+	// and merge iterators, the scan iterator stack) so warm Get/Scan calls
+	// allocate nothing beyond their results.
+	readPool sync.Pool
+
 	// Counters (guarded by mu).
 	flushes        int64
 	compactions    int64
@@ -164,6 +169,7 @@ func Open(opts Options) (*DB, error) {
 		reg:        reg,
 	}
 	db.registerMetrics(reg)
+	db.readPool.New = func() any { return new(readState) }
 	db.bgCond = sync.NewCond(&db.mu)
 	db.tc = newTableCache(fs, opts.Dir, strategy.BlockCache())
 	db.mem = memtable.New(db.nextMemSeedLocked())
@@ -351,8 +357,17 @@ func (d *DB) Get(key []byte) ([]byte, bool, error) {
 	defer d.releaseVersion(h)
 	version := h.v
 
-	// 2. MemTable, then sealed memtables newest-first.
-	if v, deleted, ok := mem.Get(key, seq); ok {
+	// The pooled readState supplies every piece of per-operation scratch —
+	// the memtable search key, the SSTable seek key and the block iterator —
+	// so a warm lookup allocates only the returned value copy.
+	rs := d.getReadState()
+	defer d.putReadState(rs)
+
+	// 2. MemTable, then sealed memtables newest-first. One search key is
+	// built once and reused across the whole memtable queue.
+	rs.seekBuf = keys.AppendSearch(rs.seekBuf[:0], key, seq)
+	search := keys.InternalKey(rs.seekBuf)
+	if v, deleted, ok := mem.GetSeek(search, key); ok {
 		if deleted {
 			return nil, false, nil
 		}
@@ -361,7 +376,7 @@ func (d *DB) Get(key []byte) ([]byte, bool, error) {
 		return v, true, nil
 	}
 	for i := len(imm) - 1; i >= 0; i-- {
-		if v, deleted, ok := imm[i].mem.Get(key, seq); ok {
+		if v, deleted, ok := imm[i].mem.GetSeek(search, key); ok {
 			if deleted {
 				return nil, false, nil
 			}
@@ -370,14 +385,13 @@ func (d *DB) Get(key []byte) ([]byte, bool, error) {
 	}
 
 	// 3. SSTables through the block cache.
-	var stats sstable.ReadStats
-	value, found, err := d.getFromTables(version, key, seq, &stats)
+	value, found, err := d.getFromTables(version, key, seq, &rs.stats)
 	if err != nil {
 		return nil, false, err
 	}
-	d.queryBlockReads.Add(stats.BlockMisses)
-	d.queryBlockHits.Add(stats.BlockHits)
-	d.strategy.OnPointResult(key, value, int(stats.BlockMisses))
+	d.queryBlockReads.Add(rs.stats.BlockMisses)
+	d.queryBlockHits.Add(rs.stats.BlockHits)
+	d.strategy.OnPointResult(key, value, int(rs.stats.BlockMisses))
 	return value, found, nil
 }
 
@@ -496,12 +510,14 @@ func (d *DB) scan(start, end []byte, n int) ([]KV, error) {
 	defer d.releaseVersion(h)
 	version := h.v
 
-	var stats sstable.ReadStats
+	rs := d.getReadState()
+	defer d.putReadState(rs)
+	stats := &rs.stats
 	if quota, limited := d.strategy.ScanBlockFillQuota(n); limited {
 		stats.LimitScanFill = true
 		stats.ScanFillBudget = quota
 	}
-	iters := []internalIterator{mem.NewIter()}
+	iters := append(rs.iters, mem.NewIter())
 	for i := len(imm) - 1; i >= 0; i-- {
 		iters = append(iters, imm[i].mem.NewIter())
 	}
@@ -511,24 +527,28 @@ func (d *DB) scan(start, end []byte, n int) ([]KV, error) {
 		}
 		r, err := d.tc.get(f.FileNum)
 		if err != nil {
+			rs.iters = iters
 			return nil, err
 		}
-		it, err := r.NewIter(&stats)
-		if err != nil {
-			return nil, err
-		}
-		iters = append(iters, it)
+		iters = append(iters, rs.sstIter(r))
 	}
 	for level := 1; level < len(version.Levels); level++ {
 		files := version.Overlapping(level, start, nil)
 		if len(files) == 0 {
 			continue
 		}
-		iters = append(iters, newLevelIter(d.tc, files, &stats))
+		iters = append(iters, rs.levelIterFor(d.tc, files))
 	}
+	rs.iters = iters
 
-	vi := newVisibleIter(newMergingIter(iters...), seq)
+	rs.merge.setIters(iters)
+	vi := &rs.vi
+	vi.init(&rs.merge, seq)
 	var out []KV
+	// Results are copied into one contiguous arena per scan instead of two
+	// fresh allocations per returned pair; the arena is handed out with the
+	// results (never pooled), so retaining them is safe.
+	var arena []byte
 	entries := make([]ScanEntry, 0, min(n, 1024))
 	for ok := vi.SeekGE(start); ok && len(out) < n; ok = vi.Next() {
 		if vi.Deleted() {
@@ -537,8 +557,11 @@ func (d *DB) scan(start, end []byte, n int) ([]KV, error) {
 		if end != nil && bytes.Compare(vi.UserKey(), end) >= 0 {
 			break
 		}
-		k := append([]byte(nil), vi.UserKey()...)
-		v := append([]byte(nil), vi.Value()...)
+		kOff := len(arena)
+		arena = append(arena, vi.UserKey()...)
+		vOff := len(arena)
+		arena = append(arena, vi.Value()...)
+		k, v := arena[kOff:vOff:vOff], arena[vOff:len(arena):len(arena)]
 		out = append(out, KV{Key: k, Value: v})
 		entries = append(entries, ScanEntry{Key: k, Value: v})
 	}

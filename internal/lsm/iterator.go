@@ -2,7 +2,6 @@ package lsm
 
 import (
 	"bytes"
-	"container/heap"
 
 	"adcache/internal/keys"
 	"adcache/internal/manifest"
@@ -22,24 +21,40 @@ type internalIterator interface {
 }
 
 // levelIter iterates one non-overlapping level (L1+), opening file iterators
-// lazily as the scan crosses file boundaries.
+// lazily as the scan crosses file boundaries. It embeds one sstable.Iter by
+// value and re-initialises it per file, so crossing a file boundary performs
+// no allocation.
 type levelIter struct {
 	tc    *tableCache
 	files []*manifest.FileMeta
 	stats *sstable.ReadStats
 
-	idx  int // current file index
-	iter *sstable.Iter
-	err  error
+	idx    int // current file index
+	iter   sstable.Iter
+	iterOK bool // iter is initialised on files[idx]
+	err    error
 }
 
 func newLevelIter(tc *tableCache, files []*manifest.FileMeta, stats *sstable.ReadStats) *levelIter {
-	return &levelIter{tc: tc, files: files, stats: stats, idx: -1}
+	l := new(levelIter)
+	l.init(tc, files, stats)
+	return l
+}
+
+// init points the levelIter at a level, replacing any previous state while
+// retaining the embedded iterator's buffers (the engine pools levelIters).
+func (l *levelIter) init(tc *tableCache, files []*manifest.FileMeta, stats *sstable.ReadStats) {
+	l.tc = tc
+	l.files = files
+	l.stats = stats
+	l.idx = -1
+	l.iterOK = false
+	l.err = nil
 }
 
 func (l *levelIter) openFile(idx int) bool {
 	l.idx = idx
-	l.iter = nil
+	l.iterOK = false
 	if idx >= len(l.files) {
 		return false
 	}
@@ -48,12 +63,8 @@ func (l *levelIter) openFile(idx int) bool {
 		l.err = err
 		return false
 	}
-	it, err := r.NewIter(l.stats)
-	if err != nil {
-		l.err = err
-		return false
-	}
-	l.iter = it
+	l.iter.Init(r, l.stats)
+	l.iterOK = true
 	return true
 }
 
@@ -91,8 +102,13 @@ func (l *levelIter) Next() bool {
 	if l.err != nil {
 		return false
 	}
-	if l.iter != nil && l.iter.Next() {
+	if l.iterOK && l.iter.Next() {
 		return true
+	}
+	if l.iterOK && l.iter.Err() != nil {
+		// Latch corruption from the exhausted file before Init clears it.
+		l.err = l.iter.Err()
+		return false
 	}
 	for {
 		if !l.openFile(l.idx + 1) {
@@ -107,7 +123,7 @@ func (l *levelIter) Next() bool {
 	}
 }
 
-func (l *levelIter) Valid() bool { return l.iter != nil && l.iter.Valid() }
+func (l *levelIter) Valid() bool { return l.iterOK && l.iter.Valid() }
 
 func (l *levelIter) Key() keys.InternalKey { return l.iter.Key() }
 
@@ -117,49 +133,83 @@ func (l *levelIter) Err() error {
 	if l.err != nil {
 		return l.err
 	}
-	if l.iter != nil {
+	if l.iterOK {
 		return l.iter.Err()
 	}
 	return nil
 }
 
+// mergeChild is one source in the merge heap. It caches the child's current
+// key so heap comparisons are direct slice compares instead of virtual
+// Key() calls through the interface.
+type mergeChild struct {
+	it  internalIterator
+	key keys.InternalKey
+}
+
 // mergingIter merges several internalIterators into one stream ordered by
 // internal key. Internal keys are globally unique (sequence numbers are
 // unique), so no tie-breaking across sources is needed.
+//
+// The heap is a concrete slice min-heap over mergeChild — no container/heap,
+// so nothing is boxed through `any` and sift operations move small structs.
 type mergingIter struct {
 	iters []internalIterator
-	h     iterHeap
+	h     []mergeChild
 	init  bool
-}
-
-type iterHeap []internalIterator
-
-func (h iterHeap) Len() int { return len(h) }
-func (h iterHeap) Less(i, j int) bool {
-	return keys.Compare(h[i].Key(), h[j].Key()) < 0
-}
-func (h iterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *iterHeap) Push(x any)   { *h = append(*h, x.(internalIterator)) }
-func (h *iterHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }
 
 func newMergingIter(iters ...internalIterator) *mergingIter {
 	return &mergingIter{iters: iters}
 }
 
+// setIters re-targets a pooled mergingIter at a new source slice, dropping
+// every child reference the previous operation left in the heap's backing
+// array so pooling never extends iterator lifetimes.
+func (m *mergingIter) setIters(iters []internalIterator) {
+	m.iters = iters
+	full := m.h[:cap(m.h)]
+	for i := range full {
+		full[i] = mergeChild{}
+	}
+	m.h = m.h[:0]
+	m.init = false
+}
+
+func (m *mergingIter) less(a, b int) bool {
+	return keys.Compare(m.h[a].key, m.h[b].key) < 0
+}
+
+// siftDown restores the heap property from position i downward.
+func (m *mergingIter) siftDown(i int) {
+	n := len(m.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		small := left
+		if right := left + 1; right < n && m.less(right, left) {
+			small = right
+		}
+		if !m.less(small, i) {
+			return
+		}
+		m.h[i], m.h[small] = m.h[small], m.h[i]
+		i = small
+	}
+}
+
 func (m *mergingIter) reset(position func(internalIterator) bool) bool {
 	m.h = m.h[:0]
 	for _, it := range m.iters {
 		if position(it) {
-			m.h = append(m.h, it)
+			m.h = append(m.h, mergeChild{it: it, key: it.Key()})
 		}
 	}
-	heap.Init(&m.h)
+	for i := len(m.h)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
 	m.init = true
 	return len(m.h) > 0
 }
@@ -176,20 +226,27 @@ func (m *mergingIter) Next() bool {
 	if !m.init || len(m.h) == 0 {
 		return false
 	}
-	top := m.h[0]
-	if top.Next() {
-		heap.Fix(&m.h, 0)
+	top := &m.h[0]
+	if top.it.Next() {
+		top.key = top.it.Key()
+		m.siftDown(0)
 	} else {
-		heap.Pop(&m.h)
+		n := len(m.h) - 1
+		m.h[0] = m.h[n]
+		m.h[n] = mergeChild{} // release the retired child for GC
+		m.h = m.h[:n]
+		if n > 1 {
+			m.siftDown(0)
+		}
 	}
 	return len(m.h) > 0
 }
 
 func (m *mergingIter) Valid() bool { return m.init && len(m.h) > 0 }
 
-func (m *mergingIter) Key() keys.InternalKey { return m.h[0].Key() }
+func (m *mergingIter) Key() keys.InternalKey { return m.h[0].key }
 
-func (m *mergingIter) Value() []byte { return m.h[0].Value() }
+func (m *mergingIter) Value() []byte { return m.h[0].it.Value() }
 
 func (m *mergingIter) Err() error {
 	for _, it := range m.iters {
@@ -208,18 +265,32 @@ type visibleIter struct {
 	seq     uint64
 	userKey []byte
 	value   []byte
+	seekBuf []byte // scratch for SeekGE search keys, reused across seeks
 	deleted bool
 	valid   bool
 }
 
 func newVisibleIter(it internalIterator, seq uint64) *visibleIter {
-	return &visibleIter{it: it, seq: seq}
+	v := new(visibleIter)
+	v.init(it, seq)
+	return v
+}
+
+// init re-targets a pooled visibleIter, retaining its scratch buffers.
+func (v *visibleIter) init(it internalIterator, seq uint64) {
+	v.it = it
+	v.seq = seq
+	v.userKey = v.userKey[:0]
+	v.value = nil
+	v.deleted = false
+	v.valid = false
 }
 
 // SeekGE positions at the newest visible version of the first user key
 // >= target.
 func (v *visibleIter) SeekGE(target []byte) bool {
-	if !v.it.Seek(keys.MakeSearch(target, v.seq)) {
+	v.seekBuf = keys.AppendSearch(v.seekBuf[:0], target, v.seq)
+	if !v.it.Seek(v.seekBuf) {
 		v.valid = false
 		return false
 	}

@@ -89,9 +89,16 @@ func (m *MemTable) Set(ikey keys.InternalKey, value []byte) {
 // Get returns the newest version of userKey visible at snapshot seq.
 // deleted reports a tombstone; ok reports whether any visible version exists.
 func (m *MemTable) Get(userKey []byte, seq uint64) (value []byte, deleted, ok bool) {
+	return m.GetSeek(keys.MakeSearch(userKey, seq), userKey)
+}
+
+// GetSeek is Get with a caller-built search key (keys.MakeSearch(userKey,
+// seq) or equivalent), letting hot paths reuse one search buffer across the
+// memtable queue instead of allocating per probe.
+func (m *MemTable) GetSeek(search keys.InternalKey, userKey []byte) (value []byte, deleted, ok bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	n := m.findGE(keys.MakeSearch(userKey, seq), nil)
+	n := m.findGE(search, nil)
 	if n == nil || string(n.ikey.UserKey()) != string(userKey) {
 		return nil, false, false
 	}

@@ -5,15 +5,19 @@ import (
 	"adcache/internal/keys"
 )
 
-// Iter is a forward iterator over a whole table. It walks the index block
-// and streams through data blocks. Each data block is fetched through the
-// cache with scan-fill semantics.
+// Iter is a forward iterator over a whole table. It walks the Reader's
+// parsed index by position and streams through data blocks with an embedded
+// by-value block iterator, so steady-state iteration performs no per-block
+// allocations. Each data block is fetched through the cache with scan-fill
+// semantics.
 //
-// Iter is not safe for concurrent use.
+// A zero Iter must be initialised with Init (or obtained from
+// Reader.NewIter) before use; re-initialising a warm Iter retains its
+// internal buffers. Iter is not safe for concurrent use.
 type Iter struct {
 	r       *Reader
-	index   *block.Iter
-	data    *block.Iter
+	idxPos  int // position in r.index of the loaded data block
+	data    block.Iter
 	stats   *ReadStats
 	fill    bool
 	bypass  bool // skip the cache entirely (compaction reads)
@@ -24,57 +28,92 @@ type Iter struct {
 
 // NewIter returns an iterator over r. stats may be nil.
 func (r *Reader) NewIter(stats *ReadStats) (*Iter, error) {
-	idx, err := block.NewIter(r.index, icmp)
-	if err != nil {
-		return nil, err
-	}
-	return &Iter{r: r, index: idx, stats: stats, fill: !r.opts.NoFillOnScan}, nil
+	it := new(Iter)
+	it.Init(r, stats)
+	return it, nil
 }
 
 // NewIterNoCache returns an iterator that bypasses the block cache entirely:
 // it neither probes nor fills. Compaction uses it so merge I/O does not
 // pollute the cache or perturb eviction recency, matching RocksDB.
 func (r *Reader) NewIterNoCache() (*Iter, error) {
-	idx, err := block.NewIter(r.index, icmp)
-	if err != nil {
-		return nil, err
-	}
-	return &Iter{r: r, index: idx, bypass: true}, nil
+	it := new(Iter)
+	it.Init(r, nil)
+	it.fill, it.bypass = false, true
+	return it, nil
 }
 
-// loadData opens the data block at the current index position.
+// Init points the iterator at r, replacing any previous state while
+// retaining internal buffers. The engine pools Iters across operations and
+// re-Inits them here.
+func (i *Iter) Init(r *Reader, stats *ReadStats) {
+	i.r = r
+	i.idxPos = -1
+	i.data.Reset()
+	i.stats = stats
+	i.fill = !r.opts.NoFillOnScan
+	i.bypass = false
+	i.err = nil
+	i.valid = false
+	i.exhaust = false
+}
+
+// Close drops references to the Reader and stats so a pooled Iter never
+// keeps a retired table's pinned index alive. The Iter may be re-used via
+// Init afterwards.
+func (i *Iter) Close() {
+	i.r = nil
+	i.stats = nil
+	i.data.Reset()
+	i.err = nil
+	i.valid = false
+	i.exhaust = false
+}
+
+// loadData opens the data block at index position i.idxPos.
 func (i *Iter) loadData() bool {
-	if len(i.index.Value()) != 16 {
-		i.err = errCorruptf("bad index entry")
-		return false
-	}
+	h := i.r.index[i.idxPos].h
 	var data []byte
 	var err error
 	if i.bypass {
-		data, err = i.r.readBlockRaw(decodeHandle(i.index.Value()))
+		data, err = i.r.readBlockRaw(h)
 	} else {
-		data, err = i.r.readBlock(decodeHandle(i.index.Value()), i.fill, true, i.stats)
+		data, err = i.r.readBlock(h, i.fill, true, i.stats)
 	}
 	if err != nil {
 		i.err = err
 		return false
 	}
-	i.data, err = block.NewIter(data, icmp)
-	if err != nil {
+	if err := i.data.Init(data, icmp); err != nil {
 		i.err = err
 		return false
 	}
 	return true
 }
 
+// latchDataErr preserves a corruption error from the current data block
+// before the block iterator is re-initialised for the next block, so block
+// corruption surfaces through Err instead of silently truncating the scan.
+func (i *Iter) latchDataErr() bool {
+	if i.err == nil {
+		i.err = i.data.Err()
+	}
+	return i.err != nil
+}
+
 // First positions at the table's first entry.
 func (i *Iter) First() bool {
 	i.exhaust, i.valid = false, false
-	if !i.index.First() {
+	if len(i.r.index) == 0 {
 		i.exhaust = true
 		return false
 	}
-	if !i.loadData() || !i.data.First() {
+	i.idxPos = 0
+	if !i.loadData() {
+		return false
+	}
+	if !i.data.First() {
+		i.latchDataErr()
 		return false
 	}
 	i.valid = true
@@ -84,14 +123,21 @@ func (i *Iter) First() bool {
 // Seek positions at the first entry with internal key >= target.
 func (i *Iter) Seek(target keys.InternalKey) bool {
 	i.exhaust, i.valid = false, false
-	if !i.index.Seek(target) {
+	pos := i.r.findBlock(target)
+	if pos == len(i.r.index) {
 		i.exhaust = true
 		return false
 	}
+	i.idxPos = pos
 	if !i.loadData() {
 		return false
 	}
 	if !i.data.Seek(target) {
+		if i.latchDataErr() {
+			// The in-block seek failed because the block is corrupt, not
+			// because target is past the block: stop rather than skip ahead.
+			return false
+		}
 		// Target is past this block's last key (possible only due to index
 		// separator semantics); advance to the next block's first entry.
 		return i.nextBlock()
@@ -113,11 +159,19 @@ func (i *Iter) Next() bool {
 
 func (i *Iter) nextBlock() bool {
 	i.valid = false
-	if !i.index.Next() {
+	if i.latchDataErr() {
+		return false
+	}
+	if i.idxPos+1 >= len(i.r.index) {
 		i.exhaust = true
 		return false
 	}
-	if !i.loadData() || !i.data.First() {
+	i.idxPos++
+	if !i.loadData() {
+		return false
+	}
+	if !i.data.First() {
+		i.latchDataErr()
 		return false
 	}
 	i.valid = true
@@ -138,8 +192,5 @@ func (i *Iter) Err() error {
 	if i.err != nil {
 		return i.err
 	}
-	if i.data != nil && i.data.Err() != nil {
-		return i.data.Err()
-	}
-	return i.index.Err()
+	return i.data.Err()
 }

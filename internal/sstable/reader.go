@@ -40,6 +40,24 @@ type ReadStats struct {
 	// ReadStats is per-operation and accessed from one goroutine, so no
 	// synchronisation is needed.
 	ScanFillBudget int64
+
+	// Scratch state reused across operations when the same ReadStats is
+	// passed to successive reads (the engine pools them): the seek-key
+	// buffer and the data-block iterator keep their backing storage, making
+	// warm point lookups allocation-free in the block/sstable layers.
+	seekBuf   []byte
+	blockIter block.Iter
+}
+
+// Reset clears the counters and flags for a new operation while retaining
+// the scratch buffers, so pooled ReadStats stay allocation-free.
+func (s *ReadStats) Reset() {
+	s.BlockHits = 0
+	s.BlockMisses = 0
+	s.FilterNegatives = 0
+	s.LimitScanFill = false
+	s.ScanFillBudget = 0
+	s.blockIter.Reset()
 }
 
 // ReaderOptions configures a table reader.
@@ -54,11 +72,23 @@ type ReaderOptions struct {
 	NoFillOnScan bool
 }
 
+// indexEntry is one parsed index-block entry: the last internal key of a
+// data block and the block's location. The separator aliases a buffer pinned
+// for the Reader's lifetime.
+type indexEntry struct {
+	sep keys.InternalKey
+	h   Handle
+}
+
 // Reader provides random access to a finished sstable.
 type Reader struct {
-	f       vfs.File
-	opts    ReaderOptions
-	index   []byte // decoded index block
+	f    vfs.File
+	opts ReaderOptions
+	// index is the index block parsed once at open into a flat sorted
+	// slice, pinned for the Reader's lifetime. Point lookups binary-search
+	// it directly and table iterators walk it by position, so no per-read
+	// index-block iterator is ever constructed.
+	index   []indexEntry
 	filter  bloom.Filter
 	entries uint64
 	size    int64
@@ -85,8 +115,11 @@ func NewReader(f vfs.File, opts ReaderOptions) (*Reader, error) {
 	filterHandle := decodeHandle(footer[:])
 	indexHandle := decodeHandle(footer[16:])
 
-	r.index, err = r.readBlockRaw(indexHandle)
+	indexRaw, err := r.readBlockRaw(indexHandle)
 	if err != nil {
+		return nil, err
+	}
+	if r.index, err = parseIndex(indexRaw); err != nil {
 		return nil, err
 	}
 	if filterHandle.Length > 0 {
@@ -155,20 +188,55 @@ func (r *Reader) readBlock(h Handle, fill, scan bool, stats *ReadStats) ([]byte,
 	return data, nil
 }
 
-// findBlock locates the handle of the data block that may contain ikey.
-// Returns ok=false if ikey is past the last block.
-func (r *Reader) findBlock(ikey keys.InternalKey) (Handle, bool, error) {
-	it, err := block.NewIter(r.index, icmp)
+// parseIndex decodes a serialized index block into a flat sorted entry
+// slice. Separator keys are copied into one contiguous arena so the parsed
+// form holds exactly two heap objects regardless of block count.
+func parseIndex(raw []byte) ([]indexEntry, error) {
+	it, err := block.NewIter(raw, icmp)
 	if err != nil {
-		return Handle{}, false, err
+		return nil, err
 	}
-	if !it.Seek(ikey) {
-		return Handle{}, false, it.Err()
+	var (
+		arena   []byte
+		offsets []int // 2 per entry: sep start, sep end
+		handles []Handle
+	)
+	for ok := it.First(); ok; ok = it.Next() {
+		if len(it.Value()) != 16 {
+			return nil, errCorruptf("bad index entry")
+		}
+		start := len(arena)
+		arena = append(arena, it.Key()...)
+		offsets = append(offsets, start, len(arena))
+		handles = append(handles, decodeHandle(it.Value()))
 	}
-	if len(it.Value()) != 16 {
-		return Handle{}, false, errCorruptf("bad index entry")
+	if err := it.Err(); err != nil {
+		return nil, err
 	}
-	return decodeHandle(it.Value()), true, nil
+	entries := make([]indexEntry, len(handles))
+	for i := range entries {
+		entries[i] = indexEntry{
+			sep: keys.InternalKey(arena[offsets[2*i]:offsets[2*i+1]]),
+			h:   handles[i],
+		}
+	}
+	return entries, nil
+}
+
+// findBlock locates the position in the parsed index of the data block that
+// may contain ikey: the first block whose separator (last key) >= ikey.
+// Returns len(r.index) if ikey is past the last block.
+func (r *Reader) findBlock(ikey keys.InternalKey) int {
+	lo, hi := 0, len(r.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys.Compare(r.index[mid].sep, ikey) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Get returns the value for the newest version of userKey visible at
@@ -181,17 +249,28 @@ func (r *Reader) Get(userKey []byte, seq uint64, stats *ReadStats) (value []byte
 		}
 		return nil, false, false, nil
 	}
-	search := keys.MakeSearch(userKey, seq)
-	h, found, err := r.findBlock(search)
-	if err != nil || !found {
-		return nil, false, false, err
+	// The seek key and block iterator come from the per-operation scratch in
+	// stats when available, so a warm lookup performs no allocations before
+	// the final value copy.
+	var it *block.Iter
+	var search keys.InternalKey
+	if stats != nil {
+		stats.seekBuf = keys.AppendSearch(stats.seekBuf[:0], userKey, seq)
+		search = keys.InternalKey(stats.seekBuf)
+		it = &stats.blockIter
+	} else {
+		search = keys.MakeSearch(userKey, seq)
+		it = new(block.Iter)
 	}
-	data, err := r.readBlock(h, true, false, stats)
+	pos := r.findBlock(search)
+	if pos == len(r.index) {
+		return nil, false, false, nil
+	}
+	data, err := r.readBlock(r.index[pos].h, true, false, stats)
 	if err != nil {
 		return nil, false, false, err
 	}
-	it, err := block.NewIter(data, icmp)
-	if err != nil {
+	if err := it.Init(data, icmp); err != nil {
 		return nil, false, false, err
 	}
 	if !it.Seek(search) {
