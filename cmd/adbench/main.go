@@ -22,6 +22,13 @@
 // BENCH_READPATH.json) — the committed allocation-trajectory artifact:
 //
 //	adbench -readpath -json
+//
+// With -compaction, adbench runs the compaction benchmark — the same
+// random-order write-heavy load with serial and parallel subcompactions —
+// and, with -json, writes throughput and stall figures to -out (default
+// BENCH_COMPACTION.json):
+//
+//	adbench -compaction -json
 package main
 
 import (
@@ -46,17 +53,38 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write raw results as CSV into this directory")
 		strategy = flag.String("strategy", "", "run a latency benchmark with this strategy (adcache|block|kv|range|lecar|cacheus|none) and print the histogram table")
 		readpath = flag.Bool("readpath", false, "run the read-path micro-benchmarks (ns/op, B/op, allocs/op)")
-		asJSON   = flag.Bool("json", false, "with -readpath, write results as JSON")
-		out      = flag.String("out", "BENCH_READPATH.json", "with -readpath -json, output file")
+		compact  = flag.Bool("compaction", false, "run the compaction benchmark (serial vs parallel subcompactions)")
+		asJSON   = flag.Bool("json", false, "with -readpath or -compaction, write results as JSON")
+		out      = flag.String("out", "", "with -json, output file (default BENCH_READPATH.json / BENCH_COMPACTION.json)")
 	)
 	flag.Parse()
+
+	if *compact {
+		n := 200_000
+		if *keys > 0 {
+			n = *keys
+		}
+		path := *out
+		if path == "" {
+			path = "BENCH_COMPACTION.json"
+		}
+		if err := runCompactionBench(n, *asJSON, path); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *readpath {
 		n := 50_000
 		if *keys > 0 {
 			n = *keys
 		}
-		if err := runReadPath(n, *asJSON, *out); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_READPATH.json"
+		}
+		if err := runReadPath(n, *asJSON, path); err != nil {
 			fmt.Fprintln(os.Stderr, "adbench:", err)
 			os.Exit(1)
 		}

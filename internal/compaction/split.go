@@ -1,0 +1,125 @@
+package compaction
+
+import (
+	"bytes"
+	"sort"
+)
+
+// SubRange is one shard of a compaction's keyspace: the user keys in
+// [Start, End). A nil Start means -infinity, a nil End means +infinity, so
+// the zero SubRange covers everything. Splitting at user-key granularity
+// guarantees every version of a user key lands in exactly one shard, which
+// keeps per-shard shadowed-version dedup and tombstone dropping correct.
+type SubRange struct {
+	Start []byte
+	End   []byte
+}
+
+// Contains reports whether userKey falls inside the range.
+func (r SubRange) Contains(userKey []byte) bool {
+	if r.Start != nil && bytes.Compare(userKey, r.Start) < 0 {
+		return false
+	}
+	if r.End != nil && bytes.Compare(userKey, r.End) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Split cuts p's keyspace into at most maxShards disjoint, contiguous
+// SubRanges that together cover (-inf, +inf): the first range has a nil
+// Start, the last a nil End, and each range's End is the next range's
+// Start. Cut points are drawn from the input files' boundary user keys —
+// the only positions the plan's metadata can place without reading data —
+// and chosen so the estimated input bytes per shard are balanced. Shards
+// that would receive no bytes are never emitted, so callers may treat a
+// single-element result as "do not parallelise".
+//
+// Split is pure: it reads only the plan and allocates its result.
+func Split(p *Plan, maxShards int) []SubRange {
+	files := p.Files()
+	if maxShards <= 1 || len(files) < 2 {
+		return []SubRange{{}}
+	}
+
+	// Candidate cut keys: each file's smallest user key (cutting there moves
+	// the whole file to the next shard) and the position just past its
+	// largest (cutting there keeps the file whole in the current shard).
+	// keySucc makes the "just past" position a real key so cuts stay
+	// exclusive upper bounds.
+	cands := make([][]byte, 0, 2*len(files))
+	for _, f := range files {
+		cands = append(cands, f.Smallest.UserKey(), keySucc(f.Largest.UserKey()))
+	}
+	sort.Slice(cands, func(i, j int) bool { return bytes.Compare(cands[i], cands[j]) < 0 })
+	cands = dedupKeys(cands)
+
+	// weightBelow(c) estimates the input bytes that a cut at c places in
+	// shards below it: whole files ending before c count fully, files
+	// straddling c count half (the metadata cannot see inside a file).
+	var total int64
+	for _, f := range files {
+		total += int64(f.Size)
+	}
+	weightBelow := func(c []byte) int64 {
+		var w int64
+		for _, f := range files {
+			switch {
+			case bytes.Compare(f.Largest.UserKey(), c) < 0:
+				w += int64(f.Size)
+			case bytes.Compare(f.Smallest.UserKey(), c) < 0:
+				w += int64(f.Size) / 2
+			}
+		}
+		return w
+	}
+
+	target := total / int64(maxShards)
+	if target <= 0 {
+		return []SubRange{{}}
+	}
+	var cuts [][]byte
+	var lastW int64
+	for _, c := range cands {
+		if len(cuts) == maxShards-1 {
+			break
+		}
+		w := weightBelow(c)
+		// Cut only where at least a shard's worth of bytes accumulated since
+		// the previous cut and bytes remain above — empty head or tail
+		// shards would burn a worker on nothing.
+		if w-lastW >= target && total-w > 0 {
+			cuts = append(cuts, append([]byte(nil), c...))
+			lastW = w
+		}
+	}
+	if len(cuts) == 0 {
+		return []SubRange{{}}
+	}
+
+	ranges := make([]SubRange, 0, len(cuts)+1)
+	var start []byte
+	for _, c := range cuts {
+		ranges = append(ranges, SubRange{Start: start, End: c})
+		start = c
+	}
+	return append(ranges, SubRange{Start: start})
+}
+
+// keySucc returns the smallest user key strictly greater than k.
+func keySucc(k []byte) []byte {
+	s := make([]byte, len(k)+1)
+	copy(s, k)
+	return s
+}
+
+// dedupKeys removes adjacent duplicates from a sorted key slice, in place.
+func dedupKeys(ks [][]byte) [][]byte {
+	out := ks[:0]
+	for _, k := range ks {
+		if len(out) == 0 || !bytes.Equal(out[len(out)-1], k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

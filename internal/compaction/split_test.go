@@ -1,0 +1,155 @@
+package compaction
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"adcache/internal/manifest"
+)
+
+// checkRangeInvariants asserts the structural guarantees Split documents:
+// sorted, contiguous, disjoint ranges covering (-inf, +inf), at most
+// maxShards of them.
+func checkRangeInvariants(t *testing.T, ranges []SubRange, maxShards int) {
+	t.Helper()
+	if len(ranges) == 0 {
+		t.Fatal("no ranges")
+	}
+	if len(ranges) > maxShards && maxShards >= 1 {
+		t.Fatalf("%d ranges exceeds maxShards %d", len(ranges), maxShards)
+	}
+	if ranges[0].Start != nil {
+		t.Fatalf("first range starts at %q, want -inf", ranges[0].Start)
+	}
+	if ranges[len(ranges)-1].End != nil {
+		t.Fatalf("last range ends at %q, want +inf", ranges[len(ranges)-1].End)
+	}
+	for i := 1; i < len(ranges); i++ {
+		if !bytes.Equal(ranges[i-1].End, ranges[i].Start) {
+			t.Fatalf("gap between ranges %d and %d: end %q != start %q",
+				i-1, i, ranges[i-1].End, ranges[i].Start)
+		}
+		if bytes.Compare(ranges[i-1].Start, ranges[i].Start) >= 0 && ranges[i-1].Start != nil {
+			t.Fatalf("ranges not strictly increasing at %d", i)
+		}
+	}
+}
+
+func levelPlan(inputs, overlaps []*manifest.FileMeta) *Plan {
+	return &Plan{InputLevel: 1, OutputLevel: 2, Inputs: inputs, Overlaps: overlaps}
+}
+
+func TestSplitSingleShard(t *testing.T) {
+	p := levelPlan([]*manifest.FileMeta{fm(1, "a", "m", 100)},
+		[]*manifest.FileMeta{fm(2, "a", "z", 100)})
+	for _, k := range []int{0, 1} {
+		ranges := Split(p, k)
+		if len(ranges) != 1 || ranges[0].Start != nil || ranges[0].End != nil {
+			t.Fatalf("Split(k=%d) = %+v, want one unbounded range", k, ranges)
+		}
+	}
+}
+
+func TestSplitSingleFileStaysSerial(t *testing.T) {
+	p := levelPlan([]*manifest.FileMeta{fm(1, "a", "z", 1<<20)}, nil)
+	if ranges := Split(p, 8); len(ranges) != 1 {
+		t.Fatalf("single input file split into %d ranges", len(ranges))
+	}
+}
+
+func TestSplitBalancedUniformFiles(t *testing.T) {
+	var overlaps []*manifest.FileMeta
+	for i := 0; i < 8; i++ {
+		lo := fmt.Sprintf("k%02d0", i)
+		hi := fmt.Sprintf("k%02d9", i)
+		overlaps = append(overlaps, fm(uint64(10+i), lo, hi, 1<<20))
+	}
+	p := levelPlan([]*manifest.FileMeta{fm(1, "k000", "k079", 1<<20)}, overlaps)
+	ranges := Split(p, 4)
+	checkRangeInvariants(t, ranges, 4)
+	if len(ranges) < 2 {
+		t.Fatalf("expected a real split of 9 MiB across 8 boundary files, got %d ranges", len(ranges))
+	}
+	// Balance: no shard should hold more than half the whole-file weight.
+	var total int64
+	for _, f := range p.Files() {
+		total += int64(f.Size)
+	}
+	for i, r := range ranges {
+		var w int64
+		for _, f := range p.Files() {
+			if r.Contains(f.Smallest.UserKey()) {
+				w += int64(f.Size)
+			}
+		}
+		if w > total*2/3 {
+			t.Fatalf("shard %d holds %d of %d bytes — unbalanced split %+v", i, w, total, ranges)
+		}
+	}
+}
+
+func TestSplitEveryKeyInExactlyOneRange(t *testing.T) {
+	var overlaps []*manifest.FileMeta
+	for i := 0; i < 12; i++ {
+		overlaps = append(overlaps, fm(uint64(10+i),
+			fmt.Sprintf("k%03d", i*10), fmt.Sprintf("k%03d", i*10+9), uint64(1+i)<<16))
+	}
+	p := levelPlan([]*manifest.FileMeta{fm(1, "k000", "k119", 4<<16)}, overlaps)
+	for _, k := range []int{2, 3, 8} {
+		ranges := Split(p, k)
+		checkRangeInvariants(t, ranges, k)
+		for probe := 0; probe < 130; probe++ {
+			key := []byte(fmt.Sprintf("k%03d", probe))
+			n := 0
+			for _, r := range ranges {
+				if r.Contains(key) {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("k=%d: key %q in %d ranges", k, key, n)
+			}
+		}
+	}
+}
+
+func TestSplitSkewedSizes(t *testing.T) {
+	// One giant file at the front: the cut should not land such that the
+	// tail shard is empty of bytes.
+	overlaps := []*manifest.FileMeta{
+		fm(10, "a", "c", 8<<20),
+		fm(11, "d", "e", 1<<18),
+		fm(12, "f", "g", 1<<18),
+	}
+	p := levelPlan([]*manifest.FileMeta{fm(1, "a", "g", 1<<18)}, overlaps)
+	ranges := Split(p, 4)
+	checkRangeInvariants(t, ranges, 4)
+	for i, r := range ranges {
+		hasBytes := false
+		for _, f := range p.Files() {
+			if r.Contains(f.Smallest.UserKey()) || r.Contains(f.Largest.UserKey()) {
+				hasBytes = true
+			}
+		}
+		if !hasBytes {
+			t.Fatalf("shard %d of %+v covers no input bytes", i, ranges)
+		}
+	}
+}
+
+func TestSubRangeContains(t *testing.T) {
+	r := SubRange{Start: []byte("d"), End: []byte("m")}
+	for _, tc := range []struct {
+		key  string
+		want bool
+	}{{"a", false}, {"d", true}, {"h", true}, {"m", false}, {"z", false}} {
+		if got := r.Contains([]byte(tc.key)); got != tc.want {
+			t.Fatalf("Contains(%q) = %v, want %v", tc.key, got, tc.want)
+		}
+	}
+	all := SubRange{}
+	if !all.Contains([]byte("anything")) {
+		t.Fatal("zero SubRange must contain every key")
+	}
+}

@@ -132,16 +132,19 @@ type DB struct {
 	readPool sync.Pool
 
 	// Counters (guarded by mu).
-	flushes        int64
-	compactions    int64
-	stallSlowdowns int64
-	stallStops     int64
-	writeGroups    int64
-	memSeed        int64
-	compactedBytes int64 // bytes read as compaction inputs
-	compactionOut  int64 // bytes written as compaction outputs
-	flushedBytes   int64
-	userBytes      int64
+	flushes         int64
+	compactions     int64
+	subcompactions  int64 // shard merges executed (== compactions when serial)
+	stallSlowdowns  int64
+	stallStops      int64
+	writeGroups     int64
+	memSeed         int64
+	compactedBytes  int64   // bytes read as compaction inputs
+	compactionOut   int64   // bytes written as compaction outputs
+	levelCompactIn  []int64 // compaction input bytes drawn from each level
+	levelCompactOut []int64 // compaction output bytes written into each level
+	flushedBytes    int64
+	userBytes       int64
 }
 
 // Open opens (creating if necessary) the database described by opts.
@@ -160,13 +163,15 @@ func Open(opts Options) (*DB, error) {
 		reg = metrics.NewRegistry()
 	}
 	db := &DB{
-		opts:       opts,
-		fs:         fs,
-		strategy:   strategy,
-		store:      manifest.NewStore(fs, opts.Dir),
-		roundRobin: make(map[int][]byte),
-		memSeed:    opts.Seed,
-		reg:        reg,
+		opts:            opts,
+		fs:              fs,
+		strategy:        strategy,
+		store:           manifest.NewStore(fs, opts.Dir),
+		roundRobin:      make(map[int][]byte),
+		memSeed:         opts.Seed,
+		reg:             reg,
+		levelCompactIn:  make([]int64, opts.NumLevels),
+		levelCompactOut: make([]int64, opts.NumLevels),
 	}
 	db.registerMetrics(reg)
 	db.readPool.New = func() any { return new(readState) }
@@ -685,26 +690,35 @@ func (d *DB) IOStats() vfs.StatsSnapshot { return d.fs.Stats.Snapshot() }
 
 // Metrics summarises engine state for stats collection and tools.
 type Metrics struct {
-	LevelFiles         []int
-	LevelBytes         []uint64
-	L0Files            int
-	NonEmptyLevels     int
-	SortedRuns         int
-	TotalEntries       uint64
-	TotalBytes         uint64
-	MemTableEntries    int
-	MemTableBytes      int64
-	ImmMemTables       int
-	Flushes            int64
-	Compactions        int64
+	LevelFiles      []int
+	LevelBytes      []uint64
+	L0Files         int
+	NonEmptyLevels  int
+	SortedRuns      int
+	TotalEntries    uint64
+	TotalBytes      uint64
+	MemTableEntries int
+	MemTableBytes   int64
+	ImmMemTables    int
+	Flushes         int64
+	Compactions     int64
+	// Subcompactions counts shard merges: equal to Compactions when every
+	// compaction ran serially, larger when range-partitioned shards ran.
+	Subcompactions     int64
 	StallSlowdowns     int64
 	StallStops         int64
 	WriteGroups        int64
 	CompactedBytes     int64
 	CompactionOutBytes int64
-	FlushedBytes       int64
-	UserBytes          int64
-	LastSeq            uint64
+	// LevelCompactionInBytes[l] is the cumulative compaction input bytes
+	// drawn from level l; LevelCompactionOutBytes[l] the output bytes
+	// written into it. Their per-level ratio is the compaction
+	// write-amplification profile of the tree.
+	LevelCompactionInBytes  []int64
+	LevelCompactionOutBytes []int64
+	FlushedBytes            int64
+	UserBytes               int64
+	LastSeq                 uint64
 }
 
 // WriteAmplification reports total bytes written to SSTables (flush +
@@ -722,24 +736,27 @@ func (d *DB) Metrics() Metrics {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	m := Metrics{
-		LevelFiles:         make([]int, len(d.version.Levels)),
-		LevelBytes:         make([]uint64, len(d.version.Levels)),
-		L0Files:            len(d.version.Levels[0]),
-		NonEmptyLevels:     d.version.NumNonEmptyLevels(),
-		SortedRuns:         d.version.NumSortedRuns(),
-		MemTableEntries:    d.mem.Count(),
-		MemTableBytes:      d.mem.ApproximateSize(),
-		ImmMemTables:       len(d.imm),
-		Flushes:            d.flushes,
-		Compactions:        d.compactions,
-		StallSlowdowns:     d.stallSlowdowns,
-		StallStops:         d.stallStops,
-		WriteGroups:        d.writeGroups,
-		CompactedBytes:     d.compactedBytes,
-		CompactionOutBytes: d.compactionOut,
-		FlushedBytes:       d.flushedBytes,
-		UserBytes:          d.userBytes,
-		LastSeq:            d.lastSeq,
+		LevelFiles:              make([]int, len(d.version.Levels)),
+		LevelBytes:              make([]uint64, len(d.version.Levels)),
+		L0Files:                 len(d.version.Levels[0]),
+		NonEmptyLevels:          d.version.NumNonEmptyLevels(),
+		SortedRuns:              d.version.NumSortedRuns(),
+		MemTableEntries:         d.mem.Count(),
+		MemTableBytes:           d.mem.ApproximateSize(),
+		ImmMemTables:            len(d.imm),
+		Flushes:                 d.flushes,
+		Compactions:             d.compactions,
+		Subcompactions:          d.subcompactions,
+		StallSlowdowns:          d.stallSlowdowns,
+		StallStops:              d.stallStops,
+		WriteGroups:             d.writeGroups,
+		CompactedBytes:          d.compactedBytes,
+		CompactionOutBytes:      d.compactionOut,
+		LevelCompactionInBytes:  append([]int64(nil), d.levelCompactIn...),
+		LevelCompactionOutBytes: append([]int64(nil), d.levelCompactOut...),
+		FlushedBytes:            d.flushedBytes,
+		UserBytes:               d.userBytes,
+		LastSeq:                 d.lastSeq,
 	}
 	for i, level := range d.version.Levels {
 		m.LevelFiles[i] = len(level)

@@ -10,14 +10,15 @@ import (
 // in nanoseconds (the `_nanos` suffix drives duration formatting in summary
 // tables); write-group size is a plain magnitude.
 type dbMetrics struct {
-	getNanos      *metrics.Histogram
-	scanNanos     *metrics.Histogram
-	commitNanos   *metrics.Histogram
-	commitWait    *metrics.Histogram
-	stallNanos    *metrics.Histogram
-	flushNanos    *metrics.Histogram
-	compactNanos  *metrics.Histogram
-	writeGroupOps *metrics.Histogram
+	getNanos        *metrics.Histogram
+	scanNanos       *metrics.Histogram
+	commitNanos     *metrics.Histogram
+	commitWait      *metrics.Histogram
+	stallNanos      *metrics.Histogram
+	flushNanos      *metrics.Histogram
+	compactNanos    *metrics.Histogram
+	subcompactNanos *metrics.Histogram
+	writeGroupOps   *metrics.Histogram
 }
 
 // registerMetrics publishes the engine's observability surface into reg:
@@ -28,14 +29,15 @@ type dbMetrics struct {
 // way the registry is exposed.
 func (d *DB) registerMetrics(reg *metrics.Registry) {
 	d.metrics = dbMetrics{
-		getNanos:      reg.Histogram("lsm_get_nanos", "point-lookup latency"),
-		scanNanos:     reg.Histogram("lsm_scan_nanos", "range-scan latency"),
-		commitNanos:   reg.Histogram("lsm_commit_nanos", "write commit latency including group wait"),
-		commitWait:    reg.Histogram("lsm_commit_wait_nanos", "time spent waiting to join or lead a write group"),
-		stallNanos:    reg.Histogram("lsm_stall_nanos", "write-stall time per stalled commit (backpressure)"),
-		flushNanos:    reg.Histogram("lsm_flush_nanos", "memtable flush duration"),
-		compactNanos:  reg.Histogram("lsm_compact_nanos", "compaction duration"),
-		writeGroupOps: reg.Histogram("lsm_write_group_ops", "operations coalesced per write group"),
+		getNanos:        reg.Histogram("lsm_get_nanos", "point-lookup latency"),
+		scanNanos:       reg.Histogram("lsm_scan_nanos", "range-scan latency"),
+		commitNanos:     reg.Histogram("lsm_commit_nanos", "write commit latency including group wait"),
+		commitWait:      reg.Histogram("lsm_commit_wait_nanos", "time spent waiting to join or lead a write group"),
+		stallNanos:      reg.Histogram("lsm_stall_nanos", "write-stall time per stalled commit (backpressure)"),
+		flushNanos:      reg.Histogram("lsm_flush_nanos", "memtable flush duration"),
+		compactNanos:    reg.Histogram("lsm_compact_nanos", "compaction duration"),
+		subcompactNanos: reg.Histogram("lsm_subcompact_nanos", "per-subcompaction shard merge duration"),
+		writeGroupOps:   reg.Histogram("lsm_write_group_ops", "operations coalesced per write group"),
 	}
 
 	counters := []struct {
@@ -44,6 +46,7 @@ func (d *DB) registerMetrics(reg *metrics.Registry) {
 	}{
 		{"lsm_flushes_total", "memtable flushes", func(m Metrics) int64 { return m.Flushes }},
 		{"lsm_compactions_total", "compactions run", func(m Metrics) int64 { return m.Compactions }},
+		{"lsm_subcompactions_total", "subcompaction shard merges executed", func(m Metrics) int64 { return m.Subcompactions }},
 		{"lsm_stall_slowdowns_total", "write slowdown stalls", func(m Metrics) int64 { return m.StallSlowdowns }},
 		{"lsm_stall_stops_total", "write stop stalls", func(m Metrics) int64 { return m.StallStops }},
 		{"lsm_write_groups_total", "write groups committed", func(m Metrics) int64 { return m.WriteGroups }},
@@ -79,6 +82,20 @@ func (d *DB) registerMetrics(reg *metrics.Registry) {
 	}
 	for level := 0; level < d.opts.NumLevels; level++ {
 		l := level
+		// Per-level write-amplification counters: input bytes drawn from the
+		// level vs output bytes written into it by compactions.
+		reg.CounterFunc(fmt.Sprintf("lsm_compaction_input_bytes_total{level=%q}", fmt.Sprint(l)),
+			"compaction input bytes read from this level", func() int64 {
+				d.mu.RLock()
+				defer d.mu.RUnlock()
+				return d.levelCompactIn[l]
+			})
+		reg.CounterFunc(fmt.Sprintf("lsm_compaction_output_bytes_total{level=%q}", fmt.Sprint(l)),
+			"compaction output bytes written into this level", func() int64 {
+				d.mu.RLock()
+				defer d.mu.RUnlock()
+				return d.levelCompactOut[l]
+			})
 		reg.GaugeFunc(fmt.Sprintf("lsm_level_files{level=%q}", fmt.Sprint(l)),
 			"SSTable files per level", func() float64 {
 				d.mu.RLock()

@@ -82,6 +82,66 @@ func TestMetricsEnginePopulated(t *testing.T) {
 	}
 }
 
+// TestMetricsSubcompactionSeries checks the parallel-compaction series: the
+// shard counter and duration histogram, and the per-level write-amplification
+// counters, which must reconcile with the engine's aggregate byte counters.
+func TestMetricsSubcompactionSeries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	opts := subcompactOptions(vfs.NewMem(), 2)
+	opts.MetricsRegistry = reg
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	applySubcompactWorkload(t, db)
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	m := db.Metrics()
+	compactions := snap["lsm_compactions_total"].(int64)
+	shards := snap["lsm_subcompactions_total"].(int64)
+	if compactions == 0 {
+		t.Fatal("workload did not trigger any compaction")
+	}
+	if shards <= compactions {
+		t.Errorf("lsm_subcompactions_total = %d for %d compactions, want more (splits engaged)",
+			shards, compactions)
+	}
+
+	hists := make(map[string]metrics.HistogramSnapshot)
+	reg.EachHistogram(func(name string, s metrics.HistogramSnapshot) { hists[name] = s })
+	if s := hists["lsm_subcompact_nanos"]; s.Count != shards || s.Sum <= 0 {
+		t.Errorf("lsm_subcompact_nanos = %+v, want count=%d with positive sum", s, shards)
+	}
+
+	var inSum, outSum int64
+	for l := 0; l < opts.NumLevels; l++ {
+		inSum += snap[`lsm_compaction_input_bytes_total{level="`+string(rune('0'+l))+`"}`].(int64)
+		outSum += snap[`lsm_compaction_output_bytes_total{level="`+string(rune('0'+l))+`"}`].(int64)
+	}
+	if inSum != m.CompactedBytes || inSum == 0 {
+		t.Errorf("per-level input bytes sum to %d, aggregate says %d", inSum, m.CompactedBytes)
+	}
+	if outSum != m.CompactionOutBytes || outSum == 0 {
+		t.Errorf("per-level output bytes sum to %d, aggregate says %d", outSum, m.CompactionOutBytes)
+	}
+	if got := append([]int64(nil), m.LevelCompactionInBytes...); int64sum(got) != inSum {
+		t.Errorf("Metrics().LevelCompactionInBytes sums to %d, series say %d", int64sum(got), inSum)
+	}
+	if got := append([]int64(nil), m.LevelCompactionOutBytes...); int64sum(got) != outSum {
+		t.Errorf("Metrics().LevelCompactionOutBytes sums to %d, series say %d", int64sum(got), outSum)
+	}
+}
+
+func int64sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
 // TestMetricsPrivateRegistry checks that a DB opened without a registry gets
 // its own, and that two such DBs never share series (no global state).
 func TestMetricsPrivateRegistry(t *testing.T) {

@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"runtime"
 	"time"
 
 	"adcache/internal/metrics"
@@ -47,6 +48,16 @@ type Options struct {
 	// giving background compaction room to catch up. Ignored with
 	// InlineCompaction (there the stall IS the inline compaction).
 	L0SlowdownDelay time.Duration
+
+	// CompactionParallelism bounds the worker pool that executes one
+	// compaction as range-partitioned subcompactions (RocksDB's
+	// max_subcompactions analogue): the plan's keyspace is cut into at most
+	// this many byte-balanced shards which merge and write outputs
+	// concurrently, and the results install as one atomic version edit.
+	// 1 runs the serial path unchanged. 0 (the default) resolves to
+	// min(GOMAXPROCS, 4) — or to 1 under InlineCompaction, where
+	// deterministic experiments need a machine-independent file layout.
+	CompactionParallelism int
 
 	// Strategy receives cache callbacks; nil disables all caching.
 	Strategy CacheStrategy
@@ -132,6 +143,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.L0SlowdownDelay <= 0 {
 		o.L0SlowdownDelay = 100 * time.Microsecond
+	}
+	if o.CompactionParallelism <= 0 {
+		if o.InlineCompaction {
+			o.CompactionParallelism = 1
+		} else {
+			o.CompactionParallelism = min(runtime.GOMAXPROCS(0), 4)
+		}
 	}
 	if o.Seed == 0 {
 		o.Seed = 1

@@ -1,0 +1,113 @@
+package sstable
+
+import (
+	"fmt"
+	"testing"
+
+	"adcache/internal/keys"
+	"adcache/internal/vfs"
+)
+
+func tkey(i int) []byte { return []byte(fmt.Sprintf("key%06d", i)) }
+
+// TestIterUpperBound checks that a bounded iterator yields exactly the
+// entries below the bound from every starting position.
+func TestIterUpperBound(t *testing.T) {
+	fs := vfs.NewMem()
+	buildTable(t, fs, "t.sst", 1000, WriterOptions{BlockSize: 256})
+	r := openTable(t, fs, "t.sst", ReaderOptions{})
+
+	it, err := r.NewIter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.SetUpperBound(tkey(600))
+
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if string(it.Key().UserKey()) >= string(tkey(600)) {
+			t.Fatalf("entry %q at or past bound", it.Key().UserKey())
+		}
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 600 {
+		t.Fatalf("bounded iteration yielded %d entries, want 600", n)
+	}
+
+	// Seek inside the bound, then walk across it.
+	if !it.Seek(keys.MakeSearch(tkey(598), keys.MaxSeq)) {
+		t.Fatal("Seek(598) under bound failed")
+	}
+	for ok := true; ok; ok = it.Next() {
+		n++
+	}
+	// Seek at and past the bound must immediately report exhaustion.
+	for _, i := range []int{600, 601, 900} {
+		if it.Seek(keys.MakeSearch(tkey(i), keys.MaxSeq)) {
+			t.Fatalf("Seek(%d) succeeded past bound", i)
+		}
+	}
+}
+
+// TestIterUpperBoundStopsReadingBlocks checks the bound prevents loading
+// blocks past the range, not just filtering their entries.
+func TestIterUpperBoundStopsReadingBlocks(t *testing.T) {
+	fs := vfs.NewMem()
+	buildTable(t, fs, "t.sst", 2000, WriterOptions{BlockSize: 256})
+	r := openTable(t, fs, "t.sst", ReaderOptions{})
+
+	full := countBlockReads(t, r, nil)
+	half := countBlockReads(t, r, tkey(1000))
+	if half >= full {
+		t.Fatalf("bounded scan read %d blocks, unbounded %d — bound did not limit I/O", half, full)
+	}
+}
+
+func countBlockReads(t *testing.T, r *Reader, upper []byte) int64 {
+	t.Helper()
+	var stats ReadStats
+	it, err := r.NewIter(&stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.SetUpperBound(upper)
+	for ok := it.First(); ok; ok = it.Next() {
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return stats.BlockMisses + stats.BlockHits
+}
+
+// TestIterInitClearsUpperBound checks a pooled iterator re-Init'd on a new
+// table does not inherit the previous operation's bound.
+func TestIterInitClearsUpperBound(t *testing.T) {
+	fs := vfs.NewMem()
+	buildTable(t, fs, "t.sst", 100, WriterOptions{BlockSize: 256})
+	r := openTable(t, fs, "t.sst", ReaderOptions{})
+
+	it, err := r.NewIter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.SetUpperBound(tkey(10))
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("bounded pass yielded %d, want 10", n)
+	}
+
+	it.Init(r, nil)
+	n = 0
+	for ok := it.First(); ok; ok = it.Next() {
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("re-Init'd iterator yielded %d, want 100 (bound leaked)", n)
+	}
+}

@@ -1,6 +1,8 @@
 package sstable
 
 import (
+	"bytes"
+
 	"adcache/internal/block"
 	"adcache/internal/keys"
 )
@@ -19,6 +21,7 @@ type Iter struct {
 	idxPos  int // position in r.index of the loaded data block
 	data    block.Iter
 	stats   *ReadStats
+	upper   []byte // exclusive user-key upper bound; nil = unbounded
 	fill    bool
 	bypass  bool // skip the cache entirely (compaction reads)
 	err     error
@@ -51,12 +54,20 @@ func (i *Iter) Init(r *Reader, stats *ReadStats) {
 	i.idxPos = -1
 	i.data.Reset()
 	i.stats = stats
+	i.upper = nil
 	i.fill = !r.opts.NoFillOnScan
 	i.bypass = false
 	i.err = nil
 	i.valid = false
 	i.exhaust = false
 }
+
+// SetUpperBound restricts subsequent positioning to entries whose user key
+// is strictly below upper; nil removes the bound. Once the iterator steps to
+// or past the bound it reports exhaustion and loads no further blocks, so a
+// bounded reader touches only the blocks its range needs. Subcompaction
+// shards use this so sibling shards never re-read each other's key ranges.
+func (i *Iter) SetUpperBound(upper []byte) { i.upper = upper }
 
 // Close drops references to the Reader and stats so a pooled Iter never
 // keeps a retired table's pinned index alive. The Iter may be re-used via
@@ -65,9 +76,27 @@ func (i *Iter) Close() {
 	i.r = nil
 	i.stats = nil
 	i.data.Reset()
+	i.upper = nil
 	i.err = nil
 	i.valid = false
 	i.exhaust = false
+}
+
+// Closed reports whether the iterator has been released with Close and not
+// re-initialised since. Lifecycle tests use it to assert iterators are not
+// leaked by background paths.
+func (i *Iter) Closed() bool { return i.r == nil }
+
+// checkUpper invalidates the iterator once the current entry reaches the
+// upper bound. Returns true while still inside the bound.
+func (i *Iter) checkUpper() bool {
+	if i.upper == nil ||
+		bytes.Compare(keys.InternalKey(i.data.Key()).UserKey(), i.upper) < 0 {
+		return true
+	}
+	i.valid = false
+	i.exhaust = true
+	return false
 }
 
 // loadData opens the data block at index position i.idxPos.
@@ -117,7 +146,7 @@ func (i *Iter) First() bool {
 		return false
 	}
 	i.valid = true
-	return true
+	return i.checkUpper()
 }
 
 // Seek positions at the first entry with internal key >= target.
@@ -143,7 +172,7 @@ func (i *Iter) Seek(target keys.InternalKey) bool {
 		return i.nextBlock()
 	}
 	i.valid = true
-	return true
+	return i.checkUpper()
 }
 
 // Next advances to the following entry.
@@ -152,7 +181,7 @@ func (i *Iter) Next() bool {
 		return false
 	}
 	if i.data.Next() {
-		return true
+		return i.checkUpper()
 	}
 	return i.nextBlock()
 }
@@ -175,7 +204,7 @@ func (i *Iter) nextBlock() bool {
 		return false
 	}
 	i.valid = true
-	return true
+	return i.checkUpper()
 }
 
 // Valid reports whether the iterator is positioned at an entry.

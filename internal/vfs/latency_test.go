@@ -1,0 +1,67 @@
+package vfs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestLatencyFSTransparent checks data round-trips unchanged through the
+// latency wrapper.
+func TestLatencyFSTransparent(t *testing.T) {
+	fs := NewLatency(NewMem(), 0, 0)
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello latency")
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	g, err := fs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	buf := make([]byte, len(payload))
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatalf("read back %q, wrote %q", buf, payload)
+	}
+	if !fs.Exists("a") {
+		t.Fatal("Exists lost the file")
+	}
+}
+
+// TestLatencyFSCharges checks accumulated debt is actually slept off: a
+// burst of charged operations takes at least the modelled simulated time.
+func TestLatencyFSCharges(t *testing.T) {
+	const access = 500 * time.Microsecond
+	const ops = 20 // 10 ms of modelled access time, well past minSleep
+	fs := NewLatency(NewMem(), access, 0)
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Sync(); err != nil { // settles any residual debt
+		t.Fatal(err)
+	}
+	if got, want := time.Since(start), ops*access; got < want {
+		t.Fatalf("charged burst took %v, modelled time is %v", got, want)
+	}
+}
