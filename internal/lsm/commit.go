@@ -105,6 +105,16 @@ func (d *DB) commitGroup(group []*commitWaiter) error {
 			seq++
 		}
 	}
+	// One sync per group — the fsync the whole group-commit design exists
+	// to amortise. Once it returns, every acknowledged write in the group
+	// survives a crash (the durability contract the crash-point sweep
+	// verifies). DisableWALSync trades that for throughput: a crash may
+	// then lose the unsynced WAL tail.
+	if !d.opts.DisableWALSync {
+		if err := d.log.Sync(); err != nil {
+			return err
+		}
+	}
 
 	d.mu.Lock()
 	if d.closed {
@@ -167,8 +177,13 @@ func (d *DB) waitForWriteRoom() error {
 			d.mu.Unlock()
 			return ErrClosed
 		}
-		if d.bgErr != nil {
-			err := d.bgErr
+		if d.bgState == bgReadOnly {
+			// Degraded mode: fail fast instead of stalling on backpressure
+			// that background work will never relieve. Transient background
+			// failures (bgRetrying) do NOT fail writes — the worker is
+			// retrying, and if it cannot keep up the ordinary imm-queue/L0
+			// backpressure below applies.
+			err := d.readOnlyErrLocked()
 			d.mu.Unlock()
 			return err
 		}
@@ -185,6 +200,9 @@ func (d *DB) waitForWriteRoom() error {
 			d.stallStops++
 			stalled = true
 		}
+		// Make sure the worker knows there is pressure to relieve: a tall
+		// L0 inherited from a reopen has no seal notification behind it.
+		d.notifyWorker()
 		d.bgCond.Wait()
 	}
 	slowdown := !d.opts.DisableAutoCompaction &&

@@ -315,14 +315,20 @@ func (d *DB) writeCompactionOutputs(merged *mergingIter, sr compaction.SubRange,
 		if err := f.Close(); err != nil {
 			return err
 		}
-		outputs = append(outputs, &manifest.FileMeta{
+		w, f = nil, nil
+		fm := &manifest.FileMeta{
 			FileNum:    fileNum,
 			Size:       meta.Size,
 			NumEntries: meta.NumEntries,
 			Smallest:   append(keys.InternalKey(nil), meta.Smallest...),
 			Largest:    append(keys.InternalKey(nil), meta.Largest...),
-		})
-		w, f = nil, nil
+		}
+		// ParanoidChecks: verify the closed output before it can be
+		// installed; a rejected table is deleted and the compaction retried.
+		if err := d.paranoidCheck(fm); err != nil {
+			return err
+		}
+		outputs = append(outputs, fm)
 		return nil
 	}
 

@@ -85,8 +85,17 @@ type DB struct {
 	imm     []*immTable       // sealed memtables awaiting flush, oldest first
 	version *manifest.Version // latest version; mutations under mu
 	lastSeq uint64            // published only after the group's memtable apply
-	bgErr   error             // sticky background flush/compaction error
 	closed  bool
+
+	// Background error handler state (see errhandler.go). Guarded by mu.
+	// bgState is healthy, retrying (transient failure, backoff in
+	// progress) or read-only (corruption; writes fail fast until Resume).
+	bgState   bgState
+	bgKind    BgErrorKind
+	bgCause   error
+	bgAttempt int   // consecutive failures, drives the backoff
+	bgRetries int64 // cumulative retry attempts (lsm_bg_retries_total)
+	resumes   int64 // Resume calls that exited read-only mode
 
 	// bgCond (on mu) wakes stalled writers when the background worker
 	// retires an immutable memtable or shrinks L0.
@@ -106,6 +115,10 @@ type DB struct {
 	current *versionHandle
 	live    map[*versionHandle]struct{}
 	zombies map[uint64]bool
+	// deletable holds obsolete file numbers whose physical deletion waits
+	// for the next durable manifest save: deleting them earlier would let a
+	// crash land with a manifest referencing missing files. Guarded by verMu.
+	deletable []uint64
 
 	nextFileNum atomic.Uint64
 	walNum      uint64 // active log; written under commitMu+mu, read under either
@@ -132,6 +145,7 @@ type DB struct {
 	readPool sync.Pool
 
 	// Counters (guarded by mu).
+	walRemoveErrors int64 // failed WAL deletions after successful flushes
 	flushes         int64
 	compactions     int64
 	subcompactions  int64 // shard merges executed (== compactions when serial)
@@ -204,12 +218,17 @@ func Open(opts Options) (*DB, error) {
 	if err := db.startWAL(oldWALs); err != nil {
 		return nil, err
 	}
+	db.removeOrphans()
 	db.seqAlloc = db.lastSeq
 	if !opts.InlineCompaction {
 		db.bgWork = make(chan struct{}, 1)
 		db.quit = make(chan struct{})
 		db.wg.Add(1)
 		go db.flushWorker()
+		// Recovery may have rebuilt a tree that already violates its shape
+		// invariants (e.g. a tall L0 from replayed flushes); start working
+		// on it now rather than after the first seal.
+		db.notifyWorker()
 	}
 	return db, nil
 }
@@ -293,11 +312,59 @@ func (d *DB) startWAL(oldNums []uint64) error {
 		if old == 0 || old == num || !d.fs.Exists(walPath(d.opts.Dir, old)) {
 			continue
 		}
+		// Same contract as flushImm: the replayed records are durably in the
+		// tree, so a failed deletion of a retired log is cosmetic — log it and
+		// let the next Open's orphan sweep retry.
 		if err := d.fs.Remove(walPath(d.opts.Dir, old)); err != nil {
-			return err
+			d.logf("lsm: removing replayed wal %06d failed (will retry on reopen): %v", old, err)
+			d.walRemoveErrors++
 		}
 	}
 	return nil
+}
+
+// removeOrphans deletes files in the database directory that the freshly
+// persisted manifest does not reference: SSTs from flushes or compactions
+// that crashed before their version install, WALs already folded into
+// flushed tables, and leftover MANIFEST.tmp from an interrupted save.
+// Without this, every crash leaks its in-flight files forever. Best-effort;
+// runs single-threaded at the end of Open, after the manifest save, so the
+// live set is exact.
+func (d *DB) removeOrphans() {
+	names, err := d.fs.List(d.opts.Dir)
+	if err != nil {
+		return
+	}
+	liveSST := make(map[uint64]bool)
+	for _, level := range d.version.Levels {
+		for _, f := range level {
+			liveSST[f.FileNum] = true
+		}
+	}
+	for _, name := range names {
+		full := d.opts.Dir + "/" + name
+		if name == "MANIFEST.tmp" {
+			d.logf("lsm: removing leftover manifest temp %s", full)
+			d.fs.Remove(full)
+			continue
+		}
+		typ, num := parseFileName(name)
+		switch typ {
+		case "sst":
+			if !liveSST[num] {
+				d.logf("lsm: removing orphan table %s", full)
+				d.fs.Remove(full)
+			}
+		case "log":
+			// The only live log at this point in Open is the fresh active
+			// one; every other log was either replayed and flushed above or
+			// belongs to no manifest.
+			if num != d.walNum {
+				d.logf("lsm: removing orphan wal %s", full)
+				d.fs.Remove(full)
+			}
+		}
+	}
 }
 
 // saveManifestLocked persists the current state. The manifest lists every
@@ -309,13 +376,19 @@ func (d *DB) saveManifestLocked() error {
 		walNums = append(walNums, im.walNum)
 	}
 	walNums = append(walNums, d.walNum)
-	return d.store.Save(manifest.State{
+	if err := d.store.Save(manifest.State{
 		NextFileNum: d.nextFileNum.Load(),
 		LastSeq:     d.lastSeq,
 		WALNum:      d.walNum,
 		WALNums:     walNums,
 		Version:     d.version,
-	})
+	}); err != nil {
+		return err
+	}
+	// The saved manifest references none of the deferred-obsolete files
+	// (they left d.version before this save); now they can really go.
+	d.deleteObsoleteFiles()
+	return nil
 }
 
 // Put stores key=value.
@@ -618,6 +691,12 @@ func (d *DB) Flush() error {
 		d.commitMu.Unlock()
 		return ErrClosed
 	}
+	if d.bgState == bgReadOnly {
+		err := d.readOnlyErrLocked()
+		d.mu.Unlock()
+		d.commitMu.Unlock()
+		return err
+	}
 	hadWork := !d.mem.Empty() || len(d.imm) > 0
 	var err error
 	if hadWork {
@@ -629,13 +708,11 @@ func (d *DB) Flush() error {
 		return err
 	}
 	if err := d.drainAndCompact(!d.opts.DisableAutoCompaction); err != nil {
-		return err
+		return d.foregroundBgError(err)
 	}
-	// A successful synchronous flush supersedes any sticky background
+	// A successful synchronous flush also clears any transient background
 	// failure: the queue is drained and the tree is consistent again.
-	d.mu.Lock()
-	d.bgErr = nil
-	d.mu.Unlock()
+	d.clearBgError()
 	return nil
 }
 
@@ -645,7 +722,36 @@ func (d *DB) Compact() error {
 	if d.closing.Load() {
 		return ErrClosed
 	}
-	return d.drainAndCompact(true)
+	d.mu.RLock()
+	readOnly := d.bgState == bgReadOnly
+	var roErr error
+	if readOnly {
+		roErr = d.readOnlyErrLocked()
+	}
+	d.mu.RUnlock()
+	if readOnly {
+		return roErr
+	}
+	if err := d.drainAndCompact(true); err != nil {
+		return d.foregroundBgError(err)
+	}
+	d.clearBgError()
+	return nil
+}
+
+// foregroundBgError feeds a failed foreground Flush/Compact into the error
+// handler (background mode only: inline mode reports errors synchronously to
+// the writer and keeps no sticky state) and returns the error unchanged. A
+// transient failure leaves the worker scheduled to retry, so the DB
+// self-heals even when the failing call was a manual one.
+func (d *DB) foregroundBgError(err error) error {
+	if d.opts.InlineCompaction {
+		return err
+	}
+	if retry, _ := d.noteBgError(err); retry {
+		d.notifyWorker()
+	}
+	return err
 }
 
 // Close stops background work, closes the log and persists the manifest.
@@ -719,6 +825,22 @@ type Metrics struct {
 	FlushedBytes            int64
 	UserBytes               int64
 	LastSeq                 uint64
+	// Error-handler state: BgState is "healthy", "retrying" or
+	// "read-only"; BgErrorKind classifies the failure ("none",
+	// "transient", "no-space", "corruption"); BgLastError is the latest
+	// background failure text ("" when healthy).
+	BgState     string
+	BgErrorKind string
+	BgLastError string
+	// BgRetries counts background retry attempts; Resumes counts Resume
+	// calls that exited read-only mode; WALRemoveErrors counts WAL
+	// deletions that failed after a successful flush (non-fatal).
+	BgRetries       int64
+	Resumes         int64
+	WALRemoveErrors int64
+	// bgStateNum is the numeric form of BgState for the lsm_bg_state gauge
+	// (0 healthy, 1 retrying, 2 read-only).
+	bgStateNum int
 }
 
 // WriteAmplification reports total bytes written to SSTables (flush +
@@ -757,6 +879,15 @@ func (d *DB) Metrics() Metrics {
 		FlushedBytes:            d.flushedBytes,
 		UserBytes:               d.userBytes,
 		LastSeq:                 d.lastSeq,
+		BgState:                 d.bgState.String(),
+		bgStateNum:              int(d.bgState),
+		BgErrorKind:             d.bgKind.String(),
+		BgRetries:               d.bgRetries,
+		Resumes:                 d.resumes,
+		WALRemoveErrors:         d.walRemoveErrors,
+	}
+	if d.bgCause != nil {
+		m.BgLastError = d.bgCause.Error()
 	}
 	for i, level := range d.version.Levels {
 		m.LevelFiles[i] = len(level)

@@ -13,7 +13,9 @@ import (
 // Options.InlineCompaction). Each wake-up drains the immutable-memtable
 // queue, compacting after every flush so L0 never accumulates past its
 // trigger between flushes — the stall triggers then only fire when writers
-// genuinely outpace this worker.
+// genuinely outpace this worker. Failures feed the error handler: transient
+// ones are retried here with capped exponential backoff, corruption parks
+// the DB in read-only mode until Resume (see errhandler.go).
 func (d *DB) flushWorker() {
 	defer d.wg.Done()
 	for {
@@ -22,35 +24,54 @@ func (d *DB) flushWorker() {
 			return
 		case <-d.bgWork:
 		}
-		for {
-			select {
-			case <-d.quit:
-				return
-			default:
-			}
-			d.mu.RLock()
-			hasImm := len(d.imm) > 0
-			broken := d.bgErr != nil
-			d.mu.RUnlock()
-			if !hasImm || broken {
-				break
-			}
-			d.compactMu.Lock()
-			err := d.flushImm()
-			if err == nil && !d.opts.DisableAutoCompaction {
-				err = d.compactLoop()
-			}
-			d.compactMu.Unlock()
-			if err != nil {
-				// Record the failure and wake stalled writers so they
-				// surface it instead of blocking forever. A later
-				// successful foreground Flush clears it.
-				d.mu.Lock()
-				d.bgErr = err
-				d.bgCond.Broadcast()
-				d.mu.Unlock()
-				break
-			}
+		if !d.bgDrain() {
+			return
+		}
+	}
+}
+
+// bgDrain runs the worker's inner loop: flush, compact, retry on transient
+// failure, park on corruption. Returns false when the DB is closing.
+func (d *DB) bgDrain() bool {
+	for {
+		select {
+		case <-d.quit:
+			return false
+		default:
+		}
+		d.mu.RLock()
+		hasImm := len(d.imm) > 0
+		// L0 can exceed its triggers with an empty immutable queue — e.g.
+		// reopening after a crash that left a tall L0. The worker must
+		// compact in that state too, or writers stalled on the L0 stop
+		// trigger would wait for a flush that never comes.
+		needCompact := !d.opts.DisableAutoCompaction &&
+			len(d.version.Levels[0]) >= d.opts.L0CompactTrigger
+		parked := d.bgState == bgReadOnly
+		d.mu.RUnlock()
+		if parked || (!hasImm && !needCompact) {
+			return true
+		}
+		d.compactMu.Lock()
+		err := d.flushImm()
+		if err == nil && !d.opts.DisableAutoCompaction {
+			err = d.compactLoop()
+		}
+		d.compactMu.Unlock()
+		if err == nil {
+			d.clearBgError()
+			continue
+		}
+		retry, delay := d.noteBgError(err)
+		if !retry {
+			// Read-only: the handler already woke stalled writers so they
+			// fail fast. The worker idles until Resume re-notifies it.
+			return true
+		}
+		select {
+		case <-d.quit:
+			return false
+		case <-time.After(delay):
 		}
 	}
 }
@@ -125,10 +146,17 @@ func (d *DB) flushImm() error {
 
 	// The manifest no longer lists this WAL; its contents live in the
 	// flushed table. A crash before this Remove just replays it redundantly
-	// (every record is shadowed by an identical one already on disk).
+	// (every record is shadowed by an identical one already on disk) — and
+	// for exactly that reason a FAILED remove is not a flush failure: the
+	// flush is durably complete, the leftover log is harmless garbage that
+	// the next Open's orphan sweep retries. Poisoning the background state
+	// here would turn a cosmetic deletion hiccup into a write outage.
 	if im.walNum != 0 && d.fs.Exists(walPath(d.opts.Dir, im.walNum)) {
 		if err := d.fs.Remove(walPath(d.opts.Dir, im.walNum)); err != nil {
-			return err
+			d.logf("lsm: removing flushed wal %06d failed (will retry on reopen): %v", im.walNum, err)
+			d.mu.Lock()
+			d.walRemoveErrors++
+			d.mu.Unlock()
 		}
 	}
 	return nil
@@ -162,11 +190,17 @@ func (d *DB) writeMemTable(mem *memtable.MemTable) (*manifest.FileMeta, error) {
 	if err := f.Close(); err != nil {
 		return nil, err
 	}
-	return &manifest.FileMeta{
+	fm := &manifest.FileMeta{
 		FileNum:    fileNum,
 		Size:       meta.Size,
 		NumEntries: meta.NumEntries,
 		Smallest:   append(keys.InternalKey(nil), meta.Smallest...),
 		Largest:    append(keys.InternalKey(nil), meta.Largest...),
-	}, nil
+	}
+	// ParanoidChecks: re-read and verify the table before anything can
+	// reference it; a bad write is deleted and retried instead of installed.
+	if err := d.paranoidCheck(fm); err != nil {
+		return nil, err
+	}
+	return fm, nil
 }

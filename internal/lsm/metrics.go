@@ -54,6 +54,9 @@ func (d *DB) registerMetrics(reg *metrics.Registry) {
 		{"lsm_compacted_bytes_total", "bytes read as compaction inputs", func(m Metrics) int64 { return m.CompactedBytes }},
 		{"lsm_compaction_out_bytes_total", "bytes written as compaction outputs", func(m Metrics) int64 { return m.CompactionOutBytes }},
 		{"lsm_user_bytes_total", "user key+value bytes accepted", func(m Metrics) int64 { return m.UserBytes }},
+		{"lsm_bg_retries_total", "background flush/compaction retry attempts", func(m Metrics) int64 { return m.BgRetries }},
+		{"lsm_resumes_total", "recoveries from read-only degraded mode", func(m Metrics) int64 { return m.Resumes }},
+		{"lsm_wal_remove_errors_total", "non-fatal failures deleting retired WAL files", func(m Metrics) int64 { return m.WALRemoveErrors }},
 	}
 	for _, c := range counters {
 		fn := c.fn
@@ -75,6 +78,7 @@ func (d *DB) registerMetrics(reg *metrics.Registry) {
 		{"lsm_total_entries", "entries across all SSTables", func(m Metrics) float64 { return float64(m.TotalEntries) }},
 		{"lsm_total_bytes", "bytes across all SSTables", func(m Metrics) float64 { return float64(m.TotalBytes) }},
 		{"lsm_write_amplification", "SSTable bytes written per user byte", Metrics.WriteAmplification},
+		{"lsm_bg_state", "error-handler mode (0 healthy, 1 retrying, 2 read-only)", func(m Metrics) float64 { return float64(m.bgStateNum) }},
 	}
 	for _, g := range gauges {
 		fn := g.fn

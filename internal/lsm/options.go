@@ -59,6 +59,33 @@ type Options struct {
 	// deterministic experiments need a machine-independent file layout.
 	CompactionParallelism int
 
+	// DisableWALSync skips the per-write-group WAL fsync. Writes are then
+	// durable only up to the last seal/flush boundary: a crash may lose
+	// the unsynced WAL tail. Off by default — one sync per write group is
+	// the fsync group commit exists to amortise.
+	DisableWALSync bool
+
+	// ParanoidChecks re-reads and fully verifies every flush and
+	// compaction output table (checksums, key order, entry count, bounds)
+	// before installing it in a version. A bad write is deleted and
+	// surfaces as a retryable background error instead of persisted
+	// corruption. Costs one extra read pass per table written.
+	ParanoidChecks bool
+
+	// BgRetryBase is the first retry delay after a transient background
+	// flush/compaction failure; successive failures double it up to
+	// BgRetryMaxDelay. Defaults: 5ms base, 1s cap.
+	BgRetryBase     time.Duration
+	BgRetryMaxDelay time.Duration
+	// BgMaxRetries caps consecutive transient-failure retries; when
+	// exceeded the DB degrades to read-only (Resume exits). 0 retries
+	// forever at the capped delay, matching RocksDB's auto-resume.
+	BgMaxRetries int
+
+	// Logf, when non-nil, receives error-handler and recovery events
+	// (background failures, retries, mode transitions, orphan cleanup).
+	Logf func(format string, args ...any)
+
 	// Strategy receives cache callbacks; nil disables all caching.
 	Strategy CacheStrategy
 

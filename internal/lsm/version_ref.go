@@ -87,8 +87,26 @@ func (d *DB) gcFilesLocked() {
 		}
 		delete(d.zombies, fn)
 		d.tc.evict(fn)
+		// Deferred, not deleted: the on-disk manifest may still reference
+		// this file. Physical removal happens after the next successful
+		// manifest save (deleteObsoleteFiles) — a crash in between must
+		// recover from a manifest whose whole file set is still present.
+		d.deletable = append(d.deletable, fn)
+	}
+}
+
+// deleteObsoleteFiles physically removes files queued by the version GC.
+// Called only after a manifest that no longer references them has been
+// durably saved; anything queued afterwards waits for the next save (or, if
+// the process dies first, for the orphan sweep on reopen).
+func (d *DB) deleteObsoleteFiles() {
+	d.verMu.Lock()
+	pending := d.deletable
+	d.deletable = nil
+	d.verMu.Unlock()
+	for _, fn := range pending {
 		// Removal failures are harmless (the file may already be gone);
-		// the memfs never fails here in practice.
+		// the next reopen's orphan sweep retries.
 		_ = d.fs.Remove(sstPath(d.opts.Dir, fn))
 	}
 }

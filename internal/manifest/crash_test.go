@@ -1,0 +1,84 @@
+package manifest
+
+import (
+	"testing"
+
+	"adcache/internal/vfs"
+)
+
+// crashState builds a distinguishable State for the crash-window sweep.
+func crashState(gen uint64) State {
+	v := NewVersion(7)
+	for i := uint64(0); i < 3; i++ {
+		f := fm(gen*100+i, "a", "z")
+		v.Levels[1] = append(v.Levels[1], f)
+	}
+	return State{NextFileNum: gen * 1000, LastSeq: gen * 7, WALNum: gen, Version: v}
+}
+
+// TestSaveCrashWindow crashes inside every FS operation of Store.Save — the
+// tmp create, payload writes, sync and rename — and checks atomicity: Load
+// must always succeed and return either the previous state or the new one,
+// never an error or a hybrid, whether or not the crash tears unsynced bytes.
+func TestSaveCrashWindow(t *testing.T) {
+	// Count the ops one Save performs on a dirty directory (tmp file from a
+	// previous save already present) by doing two probe saves.
+	probe := vfs.NewCrash(vfs.NewMem())
+	probe.MkdirAll("db")
+	st := NewStore(probe, "db")
+	if err := st.Save(crashState(1)); err != nil {
+		t.Fatalf("probe save 1: %v", err)
+	}
+	before := probe.OpCount()
+	if err := st.Save(crashState(2)); err != nil {
+		t.Fatalf("probe save 2: %v", err)
+	}
+	saveOps := probe.OpCount() - before
+	if saveOps < 3 {
+		t.Fatalf("Save performed only %d FS ops", saveOps)
+	}
+
+	for torn := 0; torn < 2; torn++ {
+		for p := int64(0); p <= saveOps; p++ {
+			cfs := vfs.NewCrash(vfs.NewMem())
+			cfs.MkdirAll("db")
+			store := NewStore(cfs, "db")
+			if err := store.Save(crashState(1)); err != nil {
+				t.Fatalf("save 1: %v", err)
+			}
+			cfs.ArmCrash(p) // relative: p more ops succeed, then the device dies
+			saveErr := store.Save(crashState(2))
+			if p < saveOps && saveErr == nil {
+				t.Fatalf("crash point %d: second save did not observe the crash", p)
+			}
+			recovered := cfs.Crash(vfs.CrashOptions{
+				Seed:         p,
+				KeepTornTail: torn == 1,
+				SectorSize:   512,
+			})
+
+			got, found, err := NewStore(recovered, "db").Load()
+			if err != nil {
+				t.Fatalf("crash point %d (torn=%d): Load after crash: %v", p, torn, err)
+			}
+			if !found {
+				t.Fatalf("crash point %d (torn=%d): manifest vanished", p, torn)
+			}
+			switch got.WALNum {
+			case 1:
+				if saveErr == nil {
+					t.Fatalf("crash point %d (torn=%d): save acked but old state survived", p, torn)
+				}
+				if got.LastSeq != 7 || len(got.Version.Levels[1]) != 3 || got.Version.Levels[1][0].FileNum != 100 {
+					t.Fatalf("crash point %d (torn=%d): old state mangled: %+v", p, torn, got)
+				}
+			case 2:
+				if got.LastSeq != 14 || len(got.Version.Levels[1]) != 3 || got.Version.Levels[1][0].FileNum != 200 {
+					t.Fatalf("crash point %d (torn=%d): new state mangled: %+v", p, torn, got)
+				}
+			default:
+				t.Fatalf("crash point %d (torn=%d): hybrid state: %+v", p, torn, got)
+			}
+		}
+	}
+}

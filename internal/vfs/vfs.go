@@ -185,6 +185,19 @@ func (fs *MemFS) Exists(name string) bool {
 	return ok
 }
 
+// AllFiles returns the full paths of every file, sorted. CrashFS uses it to
+// enumerate the disk when materialising a post-crash view.
+func (fs *MemFS) AllFiles() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // TotalBytes reports the sum of all file sizes, used by experiments to size
 // caches as a fraction of the database.
 func (fs *MemFS) TotalBytes() int64 {

@@ -191,3 +191,118 @@ func TestMemFileWriteReadProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFaultFSSyncRemoveRenameInjection(t *testing.T) {
+	ffs := NewFault(NewMem())
+	f, _ := ffs.Create("f")
+	ffs.FailSyncs(1)
+	if err := f.Sync(); err != ErrInjected {
+		t.Fatalf("sync err = %v, want injected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	ffs.FailRemoves(1)
+	if err := ffs.Remove("f"); err != ErrInjected {
+		t.Fatalf("remove err = %v, want injected", err)
+	}
+	if err := ffs.Remove("f"); err != nil {
+		t.Fatalf("second remove: %v", err)
+	}
+	ffs.Create("a")
+	ffs.FailRenames(1)
+	if err := ffs.Rename("a", "b"); err != ErrInjected {
+		t.Fatalf("rename err = %v, want injected", err)
+	}
+	if err := ffs.Rename("a", "b"); err != nil {
+		t.Fatalf("second rename: %v", err)
+	}
+}
+
+// TestFaultFSTarget checks injection only applies to matching file names.
+func TestFaultFSTarget(t *testing.T) {
+	ffs := NewFault(NewMem())
+	ffs.Target(".sst")
+	ffs.FailCreates(1)
+	if _, err := ffs.Create("db/000001.log"); err != nil {
+		t.Fatalf("non-target create failed: %v", err)
+	}
+	if _, err := ffs.Create("db/000002.sst"); err != ErrInjected {
+		t.Fatalf("target create err = %v, want injected", err)
+	}
+}
+
+// TestFaultFSProbabilistic checks the seeded probabilistic mode fails an
+// expected fraction of operations and is deterministic per seed.
+func TestFaultFSProbabilistic(t *testing.T) {
+	run := func(seed int64) int {
+		ffs := NewFault(NewMem())
+		f, _ := ffs.Create("f")
+		ffs.FailProbability(seed, 0.3)
+		fails := 0
+		for i := 0; i < 1000; i++ {
+			if _, err := f.Write([]byte("x")); err != nil {
+				fails++
+			}
+		}
+		return fails
+	}
+	n := run(42)
+	if n < 200 || n > 400 {
+		t.Fatalf("p=0.3 failed %d/1000 ops", n)
+	}
+	if again := run(42); again != n {
+		t.Fatalf("same seed diverged: %d vs %d", n, again)
+	}
+	if other := run(43); other == n {
+		t.Logf("different seeds coincided (possible but unlikely): %d", n)
+	}
+}
+
+// TestFaultFSInjectedError checks the injected error is swappable (ENOSPC
+// simulation for the error-classification tests).
+func TestFaultFSInjectedError(t *testing.T) {
+	ffs := NewFault(NewMem())
+	ffs.SetInjectedError(ErrNoSpace)
+	f, _ := ffs.Create("f")
+	ffs.FailAfterWrites(0)
+	if _, err := f.Write([]byte("x")); err != ErrNoSpace {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	ffs.Reset()
+	ffs.FailAfterWrites(0)
+	if _, err := f.Write([]byte("x")); err != ErrInjected {
+		t.Fatalf("after reset err = %v, want ErrInjected", err)
+	}
+}
+
+// TestFaultFSCorruptWrites checks silent corruption flips exactly one byte
+// and reports success to the writer.
+func TestFaultFSCorruptWrites(t *testing.T) {
+	ffs := NewFault(NewMem())
+	f, _ := ffs.Create("f")
+	ffs.CorruptWrites(1)
+	data := []byte("hello world")
+	if n, err := f.Write(data); n != len(data) || err != nil {
+		t.Fatalf("corrupt write reported n=%d err=%v", n, err)
+	}
+	got := make([]byte, len(data))
+	f.ReadAt(got, 0)
+	diff := 0
+	for i := range data {
+		if got[i] != data[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt write changed %d bytes, want 1 (%q)", diff, got)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	clean := make([]byte, len(data))
+	f.ReadAt(clean, int64(len(data)))
+	if string(clean) != string(data) {
+		t.Fatalf("second write corrupted too: %q", clean)
+	}
+}
