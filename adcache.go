@@ -77,6 +77,17 @@ func (s Strategy) String() string {
 	}
 }
 
+// Compression aliases the engine's per-block SSTable codec.
+type Compression = lsm.Compression
+
+// The supported SSTable block codecs.
+const (
+	// CompressionNone stores blocks raw (the default).
+	CompressionNone = lsm.CompressionNone
+	// CompressionFlate deflate-compresses blocks that shrink.
+	CompressionFlate = lsm.CompressionFlate
+)
+
 // Strategies lists every scheme in evaluation order.
 func Strategies() []Strategy {
 	return []Strategy{
@@ -102,6 +113,14 @@ type Options struct {
 	AdCache core.Config
 	// RangeShards optionally shards result caches by key range (§4.4).
 	RangeShards []string
+	// Compression selects per-block SSTable compression (CompressionNone or
+	// CompressionFlate, default none). With flate the block cache holds
+	// compressed images and its budget charges physical bytes.
+	Compression Compression
+	// BgIOBytesPerSec rate-limits background flush and compaction writes
+	// (token bucket; 0 = unlimited), keeping background I/O from starving
+	// foreground reads on a real disk.
+	BgIOBytesPerSec int64
 	// LSM optionally overrides engine options; FS/Dir/Strategy fields are
 	// managed by Open.
 	LSM *lsm.Options
@@ -186,6 +205,12 @@ func Open(opts Options) (*DB, error) {
 	}
 	lsmOpts.FS = opts.FS
 	lsmOpts.Strategy = strategy
+	if opts.Compression != lsm.CompressionNone {
+		lsmOpts.Compression = opts.Compression
+	}
+	if opts.BgIOBytesPerSec > 0 {
+		lsmOpts.BgIOBytesPerSec = opts.BgIOBytesPerSec
+	}
 
 	// One registry per DB: the engine, the cache strategy, and the public
 	// layer all export onto it (per-DB rather than global because one

@@ -29,6 +29,14 @@
 // BENCH_COMPACTION.json):
 //
 //	adbench -compaction -json
+//
+// With -disk, adbench runs the on-disk persistence benchmark on a real
+// temporary directory through OSFS — the same workload once per block codec
+// (none, flate) — and, with -json, writes the compression ratio, cache
+// hit-rate uplift and physical-byte budget check to -out (default
+// BENCH_DISK.json):
+//
+//	adbench -disk -json
 package main
 
 import (
@@ -54,8 +62,9 @@ func main() {
 		strategy = flag.String("strategy", "", "run a latency benchmark with this strategy (adcache|block|kv|range|lecar|cacheus|none) and print the histogram table")
 		readpath = flag.Bool("readpath", false, "run the read-path micro-benchmarks (ns/op, B/op, allocs/op)")
 		compact  = flag.Bool("compaction", false, "run the compaction benchmark (serial vs parallel subcompactions)")
-		asJSON   = flag.Bool("json", false, "with -readpath or -compaction, write results as JSON")
-		out      = flag.String("out", "", "with -json, output file (default BENCH_READPATH.json / BENCH_COMPACTION.json)")
+		disk     = flag.Bool("disk", false, "run the on-disk persistence benchmark (none vs flate block compression on OSFS)")
+		asJSON   = flag.Bool("json", false, "with -readpath, -compaction or -disk, write results as JSON")
+		out      = flag.String("out", "", "with -json, output file (default BENCH_READPATH.json / BENCH_COMPACTION.json / BENCH_DISK.json)")
 	)
 	flag.Parse()
 
@@ -69,6 +78,22 @@ func main() {
 			path = "BENCH_COMPACTION.json"
 		}
 		if err := runCompactionBench(n, *asJSON, path); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *disk {
+		n := 100_000
+		if *keys > 0 {
+			n = *keys
+		}
+		path := *out
+		if path == "" {
+			path = "BENCH_DISK.json"
+		}
+		if err := runDiskBench(n, *asJSON, path); err != nil {
 			fmt.Fprintln(os.Stderr, "adbench:", err)
 			os.Exit(1)
 		}

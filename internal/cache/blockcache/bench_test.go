@@ -21,7 +21,7 @@ func benchParallel(b *testing.B, numShards int) {
 	data := make([]byte, 4096)
 	for f := uint64(0); f < files; f++ {
 		for off := uint64(0); off < blocks; off++ {
-			c.Insert(f, off*4096, data, false)
+			c.Insert(f, off*4096, data, 0, false)
 		}
 	}
 	var seed atomic.Int64
@@ -33,7 +33,7 @@ func benchParallel(b *testing.B, numShards int) {
 			f := uint64(rng.Intn(files))
 			off := uint64(rng.Intn(blocks)) * 4096
 			if rng.Intn(100) < 10 {
-				c.Insert(f, off, data, false)
+				c.Insert(f, off, data, 0, false)
 			} else {
 				c.Get(f, off)
 			}

@@ -27,7 +27,8 @@ type Cache struct {
 type shard struct {
 	mu       sync.Mutex
 	capacity int64
-	used     int64
+	used     int64      // physical bytes held (what the budget charges)
+	logical  int64      // decoded bytes the held blocks expand to
 	ll       *list.List // front = most recent
 	items    map[blockKey]*list.Element
 
@@ -42,9 +43,15 @@ type blockKey struct {
 	offset  uint64
 }
 
+// entry holds one cached physical block image. logical is its decoded size:
+// equal to len(data) for uncompressed blocks, larger for compressed ones.
+// The byte budget charges physical bytes — the memory actually resident —
+// while the logical total feeds the physical/logical ratio the RL state
+// vector observes.
 type entry struct {
-	key  blockKey
-	data []byte
+	key     blockKey
+	data    []byte
+	logical int64
 }
 
 // New returns a cache with the given total byte capacity. The shard count
@@ -103,14 +110,18 @@ func (c *Cache) Get(fileNum, offset uint64) ([]byte, bool) {
 	return nil, false
 }
 
-// Insert implements sstable.BlockCache. The scan flag is accepted for
-// interface compatibility; the plain block cache admits everything, like
-// RocksDB's default.
-func (c *Cache) Insert(fileNum, offset uint64, data []byte, scan bool) {
-	c.insert(fileNum, offset, data)
+// Insert implements sstable.BlockCache. data is the block's physical image
+// and logical its decoded size; the budget charges physical bytes. The scan
+// flag is accepted for interface compatibility; the plain block cache admits
+// everything, like RocksDB's default.
+func (c *Cache) Insert(fileNum, offset uint64, data []byte, logical int, scan bool) {
+	c.insert(fileNum, offset, data, int64(logical))
 }
 
-func (c *Cache) insert(fileNum, offset uint64, data []byte) {
+func (c *Cache) insert(fileNum, offset uint64, data []byte, logical int64) {
+	if logical < int64(len(data)) {
+		logical = int64(len(data))
+	}
 	k := blockKey{fileNum, offset}
 	s := c.shardFor(k)
 	s.mu.Lock()
@@ -121,14 +132,17 @@ func (c *Cache) insert(fileNum, offset uint64, data []byte) {
 	if e, ok := s.items[k]; ok {
 		old := e.Value.(*entry)
 		s.used += int64(len(data)) - int64(len(old.data))
+		s.logical += logical - old.logical
 		old.data = data
+		old.logical = logical
 		s.ll.MoveToFront(e)
 	} else {
 		if int64(len(data)) > s.capacity {
 			return // larger than the whole shard: never admit
 		}
-		s.items[k] = s.ll.PushFront(&entry{key: k, data: data})
+		s.items[k] = s.ll.PushFront(&entry{key: k, data: data, logical: logical})
 		s.used += int64(len(data))
+		s.logical += logical
 		s.inserts++
 	}
 	s.evictLocked()
@@ -144,6 +158,7 @@ func (s *shard) evictLocked() {
 		s.ll.Remove(back)
 		delete(s.items, e.key)
 		s.used -= int64(len(e.data))
+		s.logical -= e.logical
 		s.evictions++
 	}
 }
@@ -167,7 +182,9 @@ func (c *Cache) EvictFile(fileNum uint64) {
 		s.mu.Lock()
 		for k, e := range s.items {
 			if k.fileNum == fileNum {
-				s.used -= int64(len(e.Value.(*entry).data))
+				ent := e.Value.(*entry)
+				s.used -= int64(len(ent.data))
+				s.logical -= ent.logical
 				s.ll.Remove(e)
 				delete(s.items, k)
 			}
@@ -176,7 +193,8 @@ func (c *Cache) EvictFile(fileNum uint64) {
 	}
 }
 
-// Used reports the cached byte total.
+// Used reports the cached physical byte total — the resident memory the
+// cache's budget charges.
 func (c *Cache) Used() int64 {
 	var used int64
 	for _, s := range c.shards {
@@ -185,6 +203,19 @@ func (c *Cache) Used() int64 {
 		s.mu.Unlock()
 	}
 	return used
+}
+
+// LogicalUsed reports the decoded byte total of the cached blocks. With
+// compression off it equals Used; the Used/LogicalUsed ratio is the cache's
+// effective compression factor.
+func (c *Cache) LogicalUsed() int64 {
+	var logical int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		logical += s.logical
+		s.mu.Unlock()
+	}
+	return logical
 }
 
 // Capacity reports the configured byte budget.
@@ -209,15 +240,17 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Stats is a snapshot of cache counters.
+// Stats is a snapshot of cache counters. Used counts physical (resident)
+// bytes; LogicalUsed counts what those blocks decode to.
 type Stats struct {
-	Hits      int64
-	Misses    int64
-	Inserts   int64
-	Evictions int64
-	Used      int64
-	Capacity  int64
-	Blocks    int
+	Hits        int64
+	Misses      int64
+	Inserts     int64
+	Evictions   int64
+	Used        int64
+	LogicalUsed int64
+	Capacity    int64
+	Blocks      int
 }
 
 // Stats returns a snapshot of the cache counters, aggregated over shards.
@@ -229,6 +262,7 @@ func (c *Cache) Stats() Stats {
 		st.Inserts += s.Inserts
 		st.Evictions += s.Evictions
 		st.Used += s.Used
+		st.LogicalUsed += s.LogicalUsed
 		st.Capacity += s.Capacity
 		st.Blocks += s.Blocks
 	}
@@ -242,13 +276,14 @@ func (c *Cache) ShardStats() []Stats {
 	for i, s := range c.shards {
 		s.mu.Lock()
 		out[i] = Stats{
-			Hits:      s.hits,
-			Misses:    s.misses,
-			Inserts:   s.inserts,
-			Evictions: s.evictions,
-			Used:      s.used,
-			Capacity:  s.capacity,
-			Blocks:    len(s.items),
+			Hits:        s.hits,
+			Misses:      s.misses,
+			Inserts:     s.inserts,
+			Evictions:   s.evictions,
+			Used:        s.used,
+			LogicalUsed: s.logical,
+			Capacity:    s.capacity,
+			Blocks:      len(s.items),
 		}
 		s.mu.Unlock()
 	}

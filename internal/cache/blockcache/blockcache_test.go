@@ -16,7 +16,7 @@ func block(size int, fill byte) []byte {
 
 func TestInsertGet(t *testing.T) {
 	c := NewShards(1<<20, 4)
-	c.Insert(1, 0, block(100, 'a'), false)
+	c.Insert(1, 0, block(100, 'a'), 0, false)
 	got, ok := c.Get(1, 0)
 	if !ok || got[0] != 'a' {
 		t.Fatalf("Get = %v, %v", got, ok)
@@ -32,7 +32,7 @@ func TestInsertGet(t *testing.T) {
 func TestLRUEvictionUnderPressure(t *testing.T) {
 	c := NewShards(1000, 1)
 	for i := 0; i < 20; i++ {
-		c.Insert(1, uint64(i*100), block(100, byte(i)), false)
+		c.Insert(1, uint64(i*100), block(100, byte(i)), 0, false)
 	}
 	if used := c.Used(); used > 1000 {
 		t.Fatalf("used %d exceeds capacity", used)
@@ -52,11 +52,11 @@ func TestLRUEvictionUnderPressure(t *testing.T) {
 
 func TestGetRefreshesRecency(t *testing.T) {
 	c := NewShards(300, 1)
-	c.Insert(1, 0, block(100, 'a'), false)
-	c.Insert(1, 100, block(100, 'b'), false)
-	c.Insert(1, 200, block(100, 'c'), false)
+	c.Insert(1, 0, block(100, 'a'), 0, false)
+	c.Insert(1, 100, block(100, 'b'), 0, false)
+	c.Insert(1, 200, block(100, 'c'), 0, false)
 	c.Get(1, 0) // refresh 'a'
-	c.Insert(1, 300, block(100, 'd'), false)
+	c.Insert(1, 300, block(100, 'd'), 0, false)
 	if _, ok := c.Get(1, 0); !ok {
 		t.Fatal("refreshed block evicted")
 	}
@@ -67,8 +67,8 @@ func TestGetRefreshesRecency(t *testing.T) {
 
 func TestUpdateInPlace(t *testing.T) {
 	c := New(1 << 20)
-	c.Insert(1, 0, block(100, 'a'), false)
-	c.Insert(1, 0, block(50, 'b'), false)
+	c.Insert(1, 0, block(100, 'a'), 0, false)
+	c.Insert(1, 0, block(50, 'b'), 0, false)
 	got, ok := c.Get(1, 0)
 	if !ok || len(got) != 50 || got[0] != 'b' {
 		t.Fatalf("updated block = %d bytes %q", len(got), got[:1])
@@ -80,7 +80,7 @@ func TestUpdateInPlace(t *testing.T) {
 
 func TestOversizedBlockRejected(t *testing.T) {
 	c := NewShards(100, 1)
-	c.Insert(1, 0, block(200, 'x'), false)
+	c.Insert(1, 0, block(200, 'x'), 0, false)
 	if _, ok := c.Get(1, 0); ok {
 		t.Fatal("oversized block admitted")
 	}
@@ -89,7 +89,7 @@ func TestOversizedBlockRejected(t *testing.T) {
 func TestResizeEvictsDown(t *testing.T) {
 	c := NewShards(10_000, 1)
 	for i := 0; i < 50; i++ {
-		c.Insert(1, uint64(i)*100, block(100, 'x'), false)
+		c.Insert(1, uint64(i)*100, block(100, 'x'), 0, false)
 	}
 	c.Resize(500)
 	if used := c.Used(); used > 500 {
@@ -103,7 +103,7 @@ func TestResizeEvictsDown(t *testing.T) {
 
 func TestZeroCapacityAdmitsNothing(t *testing.T) {
 	c := NewShards(0, 1)
-	c.Insert(1, 0, block(10, 'x'), false)
+	c.Insert(1, 0, block(10, 'x'), 0, false)
 	if c.Len() != 0 {
 		t.Fatal("zero-capacity cache admitted a block")
 	}
@@ -112,8 +112,8 @@ func TestZeroCapacityAdmitsNothing(t *testing.T) {
 func TestEvictFile(t *testing.T) {
 	c := New(1 << 20)
 	for i := 0; i < 10; i++ {
-		c.Insert(1, uint64(i*4096), block(100, 'a'), false)
-		c.Insert(2, uint64(i*4096), block(100, 'b'), false)
+		c.Insert(1, uint64(i*4096), block(100, 'a'), 0, false)
+		c.Insert(2, uint64(i*4096), block(100, 'b'), 0, false)
 	}
 	c.EvictFile(1)
 	for i := 0; i < 10; i++ {
@@ -128,7 +128,7 @@ func TestEvictFile(t *testing.T) {
 
 func TestStatsCounters(t *testing.T) {
 	c := New(1 << 20)
-	c.Insert(1, 0, block(10, 'a'), false)
+	c.Insert(1, 0, block(10, 'a'), 0, false)
 	c.Get(1, 0)
 	c.Get(1, 999)
 	st := c.Stats()
@@ -143,7 +143,7 @@ func TestStatsCounters(t *testing.T) {
 
 func TestAdaptiveShardCount(t *testing.T) {
 	small := New(10 << 10) // 10 KiB: one shard, so a 4 KiB block fits
-	small.Insert(1, 0, block(4096, 'x'), false)
+	small.Insert(1, 0, block(4096, 'x'), 0, false)
 	if _, ok := small.Get(1, 0); !ok {
 		t.Fatal("small cache cannot admit a 4 KiB block (shard too small)")
 	}
@@ -163,7 +163,7 @@ func TestConcurrentAccess(t *testing.T) {
 			for i := 0; i < 1000; i++ {
 				off := uint64((g*1000 + i) % 500 * 128)
 				if i%3 == 0 {
-					c.Insert(uint64(g%3), off, block(64, byte(i)), false)
+					c.Insert(uint64(g%3), off, block(64, byte(i)), 0, false)
 				} else {
 					c.Get(uint64(g%3), off)
 				}
@@ -180,7 +180,7 @@ func TestManyFilesDistribution(t *testing.T) {
 	c := NewShards(1<<20, 8)
 	for f := uint64(0); f < 100; f++ {
 		for o := uint64(0); o < 4; o++ {
-			c.Insert(f, o*4096, block(64, 'z'), false)
+			c.Insert(f, o*4096, block(64, 'z'), 0, false)
 		}
 	}
 	if c.Len() != 400 {
@@ -199,7 +199,7 @@ func TestManyFilesDistribution(t *testing.T) {
 
 func TestScanFlagIgnoredByPlainCache(t *testing.T) {
 	c := New(1 << 20)
-	c.Insert(1, 0, block(10, 'a'), true) // scan-tagged
+	c.Insert(1, 0, block(10, 'a'), 0, true) // scan-tagged
 	if _, ok := c.Get(1, 0); !ok {
 		t.Fatal("plain cache must admit scan-tagged blocks (RocksDB default)")
 	}
@@ -207,7 +207,7 @@ func TestScanFlagIgnoredByPlainCache(t *testing.T) {
 
 func ExampleCache() {
 	c := New(1 << 20)
-	c.Insert(7, 0, []byte("block-bytes"), false)
+	c.Insert(7, 0, []byte("block-bytes"), 0, false)
 	if data, ok := c.Get(7, 0); ok {
 		fmt.Println(string(data))
 	}

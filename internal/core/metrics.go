@@ -19,7 +19,7 @@ import (
 // blockCounters fills the block-cache fields of an lsm.CacheCounters.
 func blockCounters(c *lsm.CacheCounters, st blockcache.Stats) {
 	c.BlockHits, c.BlockMisses, c.BlockEvictions = st.Hits, st.Misses, st.Evictions
-	c.BlockUsed, c.BlockCapacity = st.Used, st.Capacity
+	c.BlockUsed, c.BlockLogicalUsed, c.BlockCapacity = st.Used, st.LogicalUsed, st.Capacity
 }
 
 // rangeCounters fills the range-cache fields of an lsm.CacheCounters.
@@ -83,9 +83,11 @@ func registerBlockCacheMetrics(reg *metrics.Registry, c *blockcache.Cache) {
 		func() int64 { return c.Stats().Inserts })
 	reg.CounterFunc("cache_block_evictions_total", "Blocks evicted from the block cache.",
 		func() int64 { return c.Stats().Evictions })
-	reg.GaugeFunc("cache_block_used_bytes", "Bytes held by the block cache.",
+	reg.GaugeFunc("cache_block_used_bytes", "Physical (resident) bytes held by the block cache.",
 		func() float64 { return float64(c.Stats().Used) })
-	reg.GaugeFunc("cache_block_capacity_bytes", "Block cache byte budget.",
+	reg.GaugeFunc("cache_block_logical_bytes", "Decoded size of the blocks held by the block cache.",
+		func() float64 { return float64(c.Stats().LogicalUsed) })
+	reg.GaugeFunc("cache_block_capacity_bytes", "Block cache byte budget (charges physical bytes).",
 		func() float64 { return float64(c.Stats().Capacity) })
 	reg.GaugeFunc("cache_block_entries", "Blocks held by the block cache.",
 		func() float64 { return float64(c.Stats().Blocks) })

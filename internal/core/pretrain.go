@@ -100,6 +100,7 @@ func syntheticState(point, scan, write, avgScanLen float64, maxScanLen int, rng 
 	s[9] = float32(0.4 + rng.Float64()*0.6)
 	s[10] = float32(0.3 + rng.Float64()*0.3)
 	s[11] = float32(clamp01((avgScanLen/16 + 2) / 32))
+	s[12] = float32(0.5 + rng.Float64()*0.5)
 	return s
 }
 

@@ -51,8 +51,7 @@ func (a *AdCache) tuneOnce() {
 	state := a.buildState(w, shape, hEst)
 	a.agent.Update(smoothed, lrDelta, state)
 	action := a.agent.Act(state)
-	params := a.decodeAction(action)
-	a.applyParams(params)
+	params := a.applyParams(a.decodeAction(action))
 
 	windows := a.windowsClosed.Add(1)
 
@@ -104,11 +103,12 @@ func (a *AdCache) decodeAction(act rl.Action) Params {
 	return p
 }
 
-// applyParams publishes params and moves the cache boundary. Small ratio
-// jitters (exploration noise) are not applied to the boundary: every
-// downward resize evicts entries, and §3.5 warns that frequent boundary
-// adjustments degrade performance. Admission parameters always apply.
-func (a *AdCache) applyParams(p Params) {
+// applyParams publishes params and moves the cache boundary, returning what
+// it actually applied. Small ratio jitters (exploration noise) are not
+// applied to the boundary: every downward resize evicts entries, and §3.5
+// warns that frequent boundary adjustments degrade performance. Admission
+// parameters always apply.
+func (a *AdCache) applyParams(p Params) Params {
 	prev := a.CurrentParams()
 	if diff := p.RangeRatio - prev.RangeRatio; !a.cfg.DisableHysteresis && diff < 0.02 && diff > -0.02 {
 		p.RangeRatio = prev.RangeRatio
@@ -117,6 +117,7 @@ func (a *AdCache) applyParams(p Params) {
 	rangeBytes := int64(float64(a.cfg.Capacity) * p.RangeRatio)
 	a.block.Resize(a.cfg.Capacity - rangeBytes)
 	a.rng.Resize(rangeBytes)
+	return p
 }
 
 // buildState assembles the agent's observation: workload composition, scan
@@ -153,6 +154,13 @@ func (a *AdCache) buildState(w stats.Window, shape stats.Shape, hEst float64) []
 	}
 	state[10] = float32(clamp01f(float64(shape.Levels) / 7))
 	state[11] = float32(clamp01f(shape.IOScan(w.AvgScanLen()) / 32))
+	// Physical/logical byte ratio of the block cache: 1.0 when uncompressed
+	// (or empty), below 1 when compressed images stretch the byte budget —
+	// the agent sees how much decoded data its budget is actually buying.
+	state[12] = 1
+	if bs.LogicalUsed > 0 {
+		state[12] = float32(clamp01f(float64(bs.Used) / float64(bs.LogicalUsed)))
+	}
 	return state
 }
 

@@ -369,10 +369,13 @@ func (d *DB) writeCompactionOutputs(merged *mergingIter, sr compaction.SubRange,
 			if err != nil {
 				return outputs, err
 			}
+			// Compaction output pays the background I/O budget.
+			file = limitFile(file, d.ioLimit)
 			f = file
 			w = sstable.NewWriter(file, sstable.WriterOptions{
-				BlockSize:  d.opts.BlockSize,
-				BitsPerKey: d.opts.BitsPerKey,
+				BlockSize:   d.opts.BlockSize,
+				BitsPerKey:  d.opts.BitsPerKey,
+				Compression: d.opts.Compression,
 			})
 		}
 		if err := w.Add(ik, merged.Value()); err != nil {

@@ -3,6 +3,7 @@ package lsm
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -22,8 +23,10 @@ const crashKeyPool = 40
 // crashOpts is the sweep's engine configuration: tiny tables so a short
 // workload crosses many flush/compaction/manifest windows, inline compaction
 // so the FS operation sequence is a deterministic function of the workload.
-func crashOpts(fs vfs.FS) Options {
-	opts := DefaultOptions("crashdb")
+// dir parameterizes the database directory so the same harness runs on MemFS
+// ("crashdb") and on a real directory via OSFS.
+func crashOpts(fs vfs.FS, dir string) Options {
+	opts := DefaultOptions(dir)
 	opts.FS = fs
 	opts.MemTableSize = 4 << 10
 	opts.L1TargetSize = 8 << 10
@@ -49,9 +52,9 @@ const crashWorkloadOps = 150
 // tracking the model of acknowledged state. failedAt is the index of the op
 // that observed the crash (-1 if none, -2 if Open itself crashed). The model
 // contains only acked ops: op failedAt may or may not have applied.
-func runCrashWorkload(fs vfs.FS) (model map[string]string, failedAt int) {
+func runCrashWorkload(fs vfs.FS, dir string) (model map[string]string, failedAt int) {
 	model = map[string]string{}
-	db, err := Open(crashOpts(fs))
+	db, err := Open(crashOpts(fs, dir))
 	if err != nil {
 		return model, -2
 	}
@@ -80,9 +83,9 @@ func runCrashWorkload(fs vfs.FS) (model map[string]string, failedAt int) {
 // durability contract against the acked model. The op in flight at the crash
 // (if any) is allowed to have either fully applied or not at all — never
 // half-applied, which the integrity check and value comparison would catch.
-func verifyCrashRecovery(t *testing.T, fs vfs.FS, model map[string]string, failedAt int) {
+func verifyCrashRecovery(t *testing.T, fs vfs.FS, dir string, model map[string]string, failedAt int) {
 	t.Helper()
-	db, err := Open(crashOpts(fs))
+	db, err := Open(crashOpts(fs, dir))
 	if err != nil {
 		t.Fatalf("reopen after crash: %v", err)
 	}
@@ -127,7 +130,7 @@ func verifyCrashRecovery(t *testing.T, fs vfs.FS, model map[string]string, faile
 func countCrashWorkloadOps(t *testing.T) int64 {
 	t.Helper()
 	cfs := vfs.NewCrash(vfs.NewMem())
-	if _, failedAt := runCrashWorkload(cfs); failedAt != -1 {
+	if _, failedAt := runCrashWorkload(cfs, "crashdb"); failedAt != -1 {
 		t.Fatalf("unarmed workload reported crash at op %d", failedAt)
 	}
 	total := cfs.OpCount()
@@ -151,12 +154,12 @@ func TestCrashPointSweep(t *testing.T) {
 	for p := int64(0); p <= total; p += step {
 		cfs := vfs.NewCrash(vfs.NewMem())
 		cfs.ArmCrash(p)
-		model, failedAt := runCrashWorkload(cfs)
+		model, failedAt := runCrashWorkload(cfs, "crashdb")
 		if p < total && !cfs.Crashed() {
 			t.Fatalf("crash point %d: workload completed without hitting the crash", p)
 		}
 		recovered := cfs.Crash(vfs.CrashOptions{})
-		verifyCrashRecovery(t, recovered, model, failedAt)
+		verifyCrashRecovery(t, recovered, "crashdb", model, failedAt)
 	}
 }
 
@@ -172,13 +175,13 @@ func TestCrashPointSweepTornTail(t *testing.T) {
 	for p := int64(0); p <= total; p += step {
 		cfs := vfs.NewCrash(vfs.NewMem())
 		cfs.ArmCrash(p)
-		model, failedAt := runCrashWorkload(cfs)
+		model, failedAt := runCrashWorkload(cfs, "crashdb")
 		recovered := cfs.Crash(vfs.CrashOptions{
 			Seed:         p,
 			KeepTornTail: true,
 			SectorSize:   512,
 		})
-		verifyCrashRecovery(t, recovered, model, failedAt)
+		verifyCrashRecovery(t, recovered, "crashdb", model, failedAt)
 	}
 }
 
@@ -189,14 +192,14 @@ func TestCrashPointSweepTornTail(t *testing.T) {
 func TestWALTornTailRecovery(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		cfs := vfs.NewCrash(vfs.NewMem())
-		model, failedAt := runCrashWorkload(cfs)
+		model, failedAt := runCrashWorkload(cfs, "crashdb")
 		if failedAt != -1 {
 			t.Fatalf("seed %d: unarmed workload crashed at %d", seed, failedAt)
 		}
 		// Tear at a random sector boundary of whatever was unsynced at the
 		// end; with per-group WAL sync the acked model must survive intact.
 		recovered := cfs.Crash(vfs.CrashOptions{Seed: seed, KeepTornTail: true, SectorSize: 512})
-		verifyCrashRecovery(t, recovered, model, -1)
+		verifyCrashRecovery(t, recovered, "crashdb", model, -1)
 	}
 }
 
@@ -204,16 +207,30 @@ func TestWALTornTailRecovery(t *testing.T) {
 // system: each cycle opens the survivor of the previous crash, applies a
 // random workload until the device dies (or the workload ends), crashes with
 // randomized torn/kept tails, then reopens and checks the acked model.
-func crashStress(t *testing.T, inline bool, cycles int, seed int64) {
+//
+// With osDir empty the evolving disk is MemFS-backed. A non-empty osDir runs
+// every cycle against the real file system instead: CrashFS wraps OSFS
+// root-scoped to osDir, and each post-crash image is materialised back onto
+// the directory so the next cycle (and the verification reopen, which then
+// exercises OSFS reads and memory maps) starts from exactly what survived.
+func crashStress(t *testing.T, inline bool, cycles int, seed int64, osDir string) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
+	dir := "crashdb"
 	var fs vfs.FS = vfs.NewMem()
+	if osDir != "" {
+		dir = osDir
+		fs = vfs.NewOS()
+	}
 	model := map[string]string{}
 	crashes := 0
 	for cycle := 0; cycle < cycles; cycle++ {
 		cfs := vfs.NewCrash(fs)
+		if osDir != "" {
+			cfs.SetRoot(dir)
+		}
 		cfs.ArmCrash(int64(rng.Intn(400) + 1))
-		opts := crashOpts(cfs)
+		opts := crashOpts(cfs, dir)
 		opts.InlineCompaction = inline
 		if !inline {
 			// A dead device never heals: escalate to read-only quickly so
@@ -251,16 +268,22 @@ func crashStress(t *testing.T, inline bool, cycles int, seed int64) {
 		if cfs.Crashed() {
 			crashes++
 		}
-		fs = cfs.Crash(vfs.CrashOptions{
+		img := cfs.Crash(vfs.CrashOptions{
 			Seed:         seed ^ int64(cycle),
 			KeepTornTail: cycle%2 == 0,
 			SectorSize:   512,
 			KeepAllProb:  0.3,
 		})
+		if osDir != "" {
+			materializeOS(t, img, dir)
+			fs = vfs.NewOS()
+		} else {
+			fs = img
+		}
 
 		// Reopen the survivor and check the acked model; the single
 		// in-flight op may have landed either way.
-		db2, err := Open(crashOpts(fs))
+		db2, err := Open(crashOpts(fs, dir))
 		if err != nil {
 			t.Fatalf("cycle %d: reopen after crash: %v", cycle, err)
 		}
@@ -308,14 +331,105 @@ func crashStress(t *testing.T, inline bool, cycles int, seed int64) {
 // TestCrashStressRandomizedInline: 200 seeded crash/reopen cycles against
 // the deterministic inline engine.
 func TestCrashStressRandomizedInline(t *testing.T) {
-	crashStress(t, true, 200, 0x5eed)
+	crashStress(t, true, 200, 0x5eed, "")
 }
 
 // TestCrashStressRandomizedBackground: the same stress against the
 // concurrent engine — background flush/compaction, group commit, the error
 // handler escalating the dead device to read-only mode.
 func TestCrashStressRandomizedBackground(t *testing.T) {
-	crashStress(t, false, 50, 0xbeef)
+	crashStress(t, false, 50, 0xbeef, "")
+}
+
+// materializeOS replays a post-crash disk image onto the real directory:
+// everything currently there is removed, then the image's files are written,
+// synced and closed, so the directory holds exactly what survived the cut.
+func materializeOS(t *testing.T, img *vfs.MemFS, dir string) {
+	t.Helper()
+	osfs := vfs.NewOS()
+	if names, err := osfs.List(dir); err == nil {
+		for _, n := range names {
+			if err := osfs.Remove(filepath.Join(dir, n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, name := range img.AllFiles() {
+		src, err := img.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := src.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, size)
+		if size > 0 {
+			if _, err := src.ReadAt(data, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		src.Close()
+		dst, err := osfs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dst.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashPointSweepOSFS runs the crash-point sweep on the real file
+// system: CrashFS over OSFS in a fresh temp directory per point, with the
+// crash-time enumeration root-scoped to the database directory. Short mode
+// sweeps a thinner grid; CI runs the short variant.
+func TestCrashPointSweepOSFS(t *testing.T) {
+	probeDir := filepath.Join(t.TempDir(), "crashdb")
+	probe := vfs.NewCrash(vfs.NewOS())
+	probe.SetRoot(probeDir)
+	if _, failedAt := runCrashWorkload(probe, probeDir); failedAt != -1 {
+		t.Fatalf("unarmed workload reported crash at op %d", failedAt)
+	}
+	total := probe.OpCount()
+	points := int64(60)
+	if testing.Short() {
+		points = 12
+	}
+	step := total / points
+	if step == 0 {
+		step = 1
+	}
+	t.Logf("sweeping %d OSFS crash points (every %d of %d FS ops)", total/step, step, total)
+	for p := int64(0); p <= total; p += step {
+		dir := filepath.Join(t.TempDir(), "crashdb")
+		cfs := vfs.NewCrash(vfs.NewOS())
+		cfs.SetRoot(dir)
+		cfs.ArmCrash(p)
+		model, failedAt := runCrashWorkload(cfs, dir)
+		if p < total && !cfs.Crashed() {
+			t.Fatalf("crash point %d: workload completed without hitting the crash", p)
+		}
+		recovered := cfs.Crash(vfs.CrashOptions{Seed: p, KeepTornTail: p%2 == 0, SectorSize: 512})
+		verifyCrashRecovery(t, recovered, dir, model, failedAt)
+	}
+}
+
+// TestCrashStressRandomizedOSFS: seeded crash/reopen stress where every
+// cycle runs on a real directory through OSFS, including the verification
+// reopen (which reads the recovered tables through the memory-map path).
+func TestCrashStressRandomizedOSFS(t *testing.T) {
+	cycles := 25
+	if testing.Short() {
+		cycles = 6
+	}
+	crashStress(t, true, cycles, 0x05f5, filepath.Join(t.TempDir(), "crashdb"))
 }
 
 // TestManifestCrashWindowLSM crashes inside every FS operation of a single
@@ -324,7 +438,7 @@ func TestCrashStressRandomizedBackground(t *testing.T) {
 func TestManifestCrashWindowLSM(t *testing.T) {
 	// Count the ops of: open, 60 acked puts, Flush.
 	prep := func(fs vfs.FS) (*DB, map[string]string, error) {
-		opts := crashOpts(fs)
+		opts := crashOpts(fs, "crashdb")
 		opts.MemTableSize = 1 << 20 // no incidental seals: Flush is the window
 		db, err := Open(opts)
 		if err != nil {
@@ -366,6 +480,6 @@ func TestManifestCrashWindowLSM(t *testing.T) {
 		db.Flush()      // may fail at any internal op
 		db.Close()
 		recovered := cfs.Crash(vfs.CrashOptions{Seed: p, KeepTornTail: p%2 == 0, SectorSize: 512})
-		verifyCrashRecovery(t, recovered, model, -1)
+		verifyCrashRecovery(t, recovered, "crashdb", model, -1)
 	}
 }

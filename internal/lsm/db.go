@@ -58,6 +58,10 @@ type DB struct {
 	store    *manifest.Store
 	tc       *tableCache
 
+	// ioLimit paces background flush/compaction writes
+	// (Options.BgIOBytesPerSec); nil when unlimited.
+	ioLimit *ioLimiter
+
 	// reg/metrics are the observability layer: hot-path histograms plus
 	// scrape-time bridges over the counters below (see metrics.go).
 	reg     *metrics.Registry
@@ -184,6 +188,7 @@ func Open(opts Options) (*DB, error) {
 		roundRobin:      make(map[int][]byte),
 		memSeed:         opts.Seed,
 		reg:             reg,
+		ioLimit:         newIOLimiter(opts.BgIOBytesPerSec),
 		levelCompactIn:  make([]int64, opts.NumLevels),
 		levelCompactOut: make([]int64, opts.NumLevels),
 	}
@@ -838,6 +843,9 @@ type Metrics struct {
 	BgRetries       int64
 	Resumes         int64
 	WALRemoveErrors int64
+	// BgIOStallNanos is cumulative time background flush/compaction writers
+	// spent throttled by the Options.BgIOBytesPerSec token bucket.
+	BgIOStallNanos int64
 	// bgStateNum is the numeric form of BgState for the lsm_bg_state gauge
 	// (0 healthy, 1 retrying, 2 read-only).
 	bgStateNum int
@@ -885,6 +893,7 @@ func (d *DB) Metrics() Metrics {
 		BgRetries:               d.bgRetries,
 		Resumes:                 d.resumes,
 		WALRemoveErrors:         d.walRemoveErrors,
+		BgIOStallNanos:          d.ioLimit.StallNanos(),
 	}
 	if d.bgCause != nil {
 		m.BgLastError = d.bgCause.Error()

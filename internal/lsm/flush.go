@@ -171,9 +171,12 @@ func (d *DB) writeMemTable(mem *memtable.MemTable) (*manifest.FileMeta, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Flush output pays the background I/O budget (no-op when unlimited).
+	f = limitFile(f, d.ioLimit)
 	w := sstable.NewWriter(f, sstable.WriterOptions{
-		BlockSize:  d.opts.BlockSize,
-		BitsPerKey: d.opts.BitsPerKey,
+		BlockSize:   d.opts.BlockSize,
+		BitsPerKey:  d.opts.BitsPerKey,
+		Compression: d.opts.Compression,
 	})
 	it := mem.NewIter()
 	for ok := it.First(); ok; ok = it.Next() {

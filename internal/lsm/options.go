@@ -5,7 +5,18 @@ import (
 	"time"
 
 	"adcache/internal/metrics"
+	"adcache/internal/sstable"
 	"adcache/internal/vfs"
+)
+
+// Compression aliases the SSTable block codec so callers configure Options
+// without importing the sstable package.
+type Compression = sstable.Compression
+
+// Re-exported compression codecs.
+const (
+	CompressionNone  = sstable.CompressionNone
+	CompressionFlate = sstable.CompressionFlate
 )
 
 // Options configures a DB. The zero value is usable after withDefaults;
@@ -23,6 +34,16 @@ type Options struct {
 	BlockSize int
 	// BitsPerKey is the Bloom filter budget (paper: 10); 0 disables.
 	BitsPerKey int
+	// Compression selects per-block SSTable compression
+	// (sstable.CompressionNone or sstable.CompressionFlate). Default none:
+	// the physical and logical layouts coincide, as before this option
+	// existed. With flate, the block cache holds compressed images and its
+	// budget charges physical bytes.
+	Compression sstable.Compression
+	// BgIOBytesPerSec rate-limits flush and compaction writes with a token
+	// bucket so background work cannot starve foreground reads on a real
+	// disk (RocksDB's rate_limiter analogue). 0 disables the limit.
+	BgIOBytesPerSec int64
 	// TargetFileSize is the SSTable size compactions aim for
 	// (paper: 4 MiB; scaled down by default here).
 	TargetFileSize int64

@@ -24,8 +24,13 @@ type CacheCounters struct {
 	BlockHits      int64
 	BlockMisses    int64
 	BlockEvictions int64
-	BlockUsed      int64
-	BlockCapacity  int64
+	// BlockUsed is the block cache's physical (resident) byte occupancy;
+	// BlockLogicalUsed is what those blocks decode to. The two coincide
+	// without compression; their ratio is the cache's effective compression
+	// factor, one of the RL agent's state features.
+	BlockUsed        int64
+	BlockLogicalUsed int64
+	BlockCapacity    int64
 
 	RangeGetHits    int64
 	RangeGetMisses  int64

@@ -18,8 +18,11 @@ import (
 
 // Dimensions of the control problem.
 const (
-	// StateDim is the workload/cache feature vector length.
-	StateDim = 12
+	// StateDim is the workload/cache feature vector length. Feature 12 is
+	// the block cache's physical/logical byte ratio (1.0 when blocks are
+	// uncompressed or the cache is empty), so budget arbitration observes
+	// what its byte budget actually buys in decoded data.
+	StateDim = 13
 	// ActionDim covers: range-cache ratio, point admission threshold,
 	// scan partial-admission a (normalised), scan partial-admission b.
 	ActionDim = 4

@@ -1,0 +1,144 @@
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"io"
+	"sync"
+)
+
+// Compression selects the per-block compression algorithm. It is recorded in
+// every block's trailer, so readers negotiate per block rather than per file:
+// a table may legally mix compressed and stored blocks (a block that fails to
+// shrink is stored raw even when compression is on, as RocksDB does).
+type Compression uint8
+
+const (
+	// CompressionNone stores blocks raw. The default: existing layouts,
+	// golden tests and the zero-allocation read path all assume it.
+	CompressionNone Compression = 0
+	// CompressionFlate compresses blocks with stdlib DEFLATE. The payload is
+	// uvarint(uncompressedLen) || deflate stream, so decompression can
+	// allocate the exact output buffer up front.
+	CompressionFlate Compression = 1
+)
+
+// String names the compression for options plumbing and bench reports.
+func (c Compression) String() string {
+	switch c {
+	case CompressionNone:
+		return "none"
+	case CompressionFlate:
+		return "flate"
+	default:
+		return "unknown"
+	}
+}
+
+// TrailerLen is the per-block trailer: one compression-type byte followed by
+// a crc32c over payload+type. The type byte sits under the checksum so a
+// flipped type is caught as corruption, not misdecoded.
+const TrailerLen = 5
+
+// maxDecodedBlock bounds the uncompressed size a flate payload may claim,
+// protecting decode from hostile length prefixes (fuzzing, disk corruption
+// that survives a checksum collision).
+const maxDecodedBlock = 1 << 28
+
+// flateEncoder pools the expensive DEFLATE state (~tens of KiB per writer)
+// across blocks and tables.
+type flateEncoder struct {
+	buf bytes.Buffer
+	fw  *flate.Writer
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &flateEncoder{}
+	e.fw, _ = flate.NewWriter(&e.buf, flate.DefaultCompression)
+	return e
+}}
+
+// flateDecoder pools the inflate window state together with its source
+// reader, so decompressing a block allocates only the output buffer.
+type flateDecoder struct {
+	br bytes.Reader
+	fr io.ReadCloser
+}
+
+var decPool = sync.Pool{New: func() any {
+	d := &flateDecoder{}
+	d.fr = flate.NewReader(&d.br)
+	return d
+}}
+
+// compressFlate returns src encoded as uvarint(len(src)) || deflate(src),
+// or ok=false when the encoded form would not be smaller than src (the
+// caller then stores the block raw).
+func compressFlate(src []byte) ([]byte, bool) {
+	e := encPool.Get().(*flateEncoder)
+	defer encPool.Put(e)
+	e.buf.Reset()
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(src)))
+	e.buf.Write(hdr[:n])
+	e.fw.Reset(&e.buf)
+	if _, err := e.fw.Write(src); err != nil {
+		return nil, false
+	}
+	if err := e.fw.Close(); err != nil {
+		return nil, false
+	}
+	if e.buf.Len() >= len(src) {
+		return nil, false
+	}
+	return append([]byte(nil), e.buf.Bytes()...), true
+}
+
+// decompressFlate decodes a CompressionFlate payload produced by
+// compressFlate into a freshly allocated buffer of the exact decoded size.
+func decompressFlate(payload []byte) ([]byte, error) {
+	size, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, errCorruptf("flate block: bad length prefix")
+	}
+	if size > maxDecodedBlock {
+		return nil, errCorruptf("flate block: implausible decoded size %d", size)
+	}
+	out := make([]byte, size)
+	d := decPool.Get().(*flateDecoder)
+	defer decPool.Put(d)
+	d.br.Reset(payload[n:])
+	if err := d.fr.(flate.Resetter).Reset(&d.br, nil); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(d.fr, out); err != nil {
+		return nil, errCorruptf("flate block: truncated stream: %v", err)
+	}
+	// The stream must end exactly at the declared size; trailing garbage or
+	// a longer stream means the length prefix lied.
+	var one [1]byte
+	if _, err := d.fr.Read(one[:]); err != io.EOF {
+		return nil, errCorruptf("flate block: stream longer than declared size %d", size)
+	}
+	return out, nil
+}
+
+// decodeBlock turns a physical block image (payload || type byte, checksum
+// already verified and stripped) into its logical contents. For
+// CompressionNone the result aliases img — no copy, no allocation — which is
+// what keeps the uncompressed read path inside its alloc budget.
+func decodeBlock(img []byte) ([]byte, error) {
+	if len(img) == 0 {
+		return nil, errCorruptf("empty block image")
+	}
+	payload := img[: len(img)-1 : len(img)-1]
+	switch Compression(img[len(img)-1]) {
+	case CompressionNone:
+		return payload, nil
+	case CompressionFlate:
+		return decompressFlate(payload)
+	default:
+		return nil, errCorruptf("unknown block compression %d", img[len(img)-1])
+	}
+}

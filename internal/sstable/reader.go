@@ -13,15 +13,24 @@ import (
 // BlockCache is the hook through which block reads are cached. The engine's
 // block cache implements it; AdCache wraps the insert side with admission
 // control. Implementations must be safe for concurrent use.
+//
+// The cache holds the block's *physical image* — compressed payload plus the
+// compression-type byte, exactly as stored on disk minus the checksum — so
+// its byte budget charges real resident memory, not the inflated logical
+// view. The reader decodes images after Get; for uncompressed blocks the
+// decode is a zero-copy slice.
 type BlockCache interface {
-	// Get returns the cached block for (fileNum, offset), if present.
+	// Get returns the cached physical block image for (fileNum, offset),
+	// if present.
 	Get(fileNum, offset uint64) ([]byte, bool)
-	// Insert offers a block for caching; the cache may decline. scan
-	// reports whether the block was read by a range-scan iterator rather
-	// than a point lookup, letting admission policies treat the two
-	// differently (§3.4 "this strategy can also be applied to the block
-	// cache").
-	Insert(fileNum, offset uint64, data []byte, scan bool)
+	// Insert offers a physical block image for caching; the cache may
+	// decline. logical is the decoded size of the block in bytes (equal to
+	// len(data) for uncompressed blocks), letting caches report both
+	// physical and logical occupancy. scan reports whether the block was
+	// read by a range-scan iterator rather than a point lookup, letting
+	// admission policies treat the two differently (§3.4 "this strategy can
+	// also be applied to the block cache").
+	Insert(fileNum, offset uint64, data []byte, logical int, scan bool)
 }
 
 // ReadStats counts logical cache activity for one reader. Updated atomically
@@ -84,6 +93,11 @@ type indexEntry struct {
 type Reader struct {
 	f    vfs.File
 	opts ReaderOptions
+	// nc, when non-nil, serves block reads as zero-copy pinned views (an
+	// mmap-style capability probed once at open, so the fallback decision
+	// is immutable and race-free). Block images handed to the cache then
+	// alias mapped file pages rather than heap copies.
+	nc vfs.NoCopyReaderAt
 	// index is the index block parsed once at open into a flat sorted
 	// slice, pinned for the Reader's lifetime. Point lookups binary-search
 	// it directly and table iterators walk it by position, so no per-read
@@ -103,6 +117,14 @@ func NewReader(f vfs.File, opts ReaderOptions) (*Reader, error) {
 	if size < FooterLen {
 		return nil, errCorruptf("file too small (%d bytes)", size)
 	}
+	var nc vfs.NoCopyReaderAt
+	if cap, ok := f.(vfs.NoCopyReaderAt); ok {
+		// Probe once: a file that can serve the footer as a pinned view can
+		// serve every block (mapping failures surface here, not mid-read).
+		if _, err := cap.ReadAtNoCopy(size-FooterLen, FooterLen); err == nil {
+			nc = cap
+		}
+	}
 	var footer [FooterLen]byte
 	if _, err := f.ReadAt(footer[:], size-FooterLen); err != nil {
 		return nil, err
@@ -110,7 +132,7 @@ func NewReader(f vfs.File, opts ReaderOptions) (*Reader, error) {
 	if binary.LittleEndian.Uint64(footer[40:]) != Magic {
 		return nil, errCorruptf("bad magic")
 	}
-	r := &Reader{f: f, opts: opts, size: size}
+	r := &Reader{f: f, opts: opts, nc: nc, size: size}
 	r.entries = binary.LittleEndian.Uint64(footer[32:])
 	filterHandle := decodeHandle(footer[:])
 	indexHandle := decodeHandle(footer[16:])
@@ -138,35 +160,66 @@ func (r *Reader) NumEntries() uint64 { return r.entries }
 // Size reports the file size in bytes.
 func (r *Reader) Size() int64 { return r.size }
 
-// readBlockRaw reads and checksums a block, bypassing the cache. Used for
-// the index and filter blocks, which are pinned in memory for the reader's
-// lifetime (as RocksDB does with its index/filter partitions by default).
-func (r *Reader) readBlockRaw(h Handle) ([]byte, error) {
-	buf := make([]byte, h.Length+4)
-	if _, err := r.f.ReadAt(buf, int64(h.Offset)); err != nil {
-		return nil, err
+// readBlockPhysical reads one block's physical image — payload plus the
+// compression-type byte, checksum verified and stripped — directly from the
+// file. When the file supports pinned no-copy views (mmap on OSFS) the image
+// aliases mapped pages and the read allocates nothing; otherwise it is one
+// heap buffer and one ReadAt, as before.
+func (r *Reader) readBlockPhysical(h Handle) ([]byte, error) {
+	n := int64(h.Length) + TrailerLen
+	var buf []byte
+	if r.nc != nil {
+		view, err := r.nc.ReadAtNoCopy(int64(h.Offset), n)
+		if err != nil {
+			return nil, err
+		}
+		buf = view
+	} else {
+		buf = make([]byte, n)
+		if _, err := r.f.ReadAt(buf, int64(h.Offset)); err != nil {
+			return nil, err
+		}
 	}
-	data := buf[:h.Length]
-	want := binary.LittleEndian.Uint32(buf[h.Length:])
-	if crc32.Checksum(data, crcTable) != want {
+	img := buf[: h.Length+1 : h.Length+1]
+	want := binary.LittleEndian.Uint32(buf[h.Length+1:])
+	if crc32.Checksum(img, crcTable) != want {
 		return nil, errCorruptf("checksum mismatch at offset %d", h.Offset)
 	}
-	return data, nil
+	return img, nil
 }
 
-// readBlock fetches a data block through the cache. fill controls whether a
-// missed block is offered to the cache (false for scan paths when
-// NoFillOnScan is set); scan tags the insert with its origin.
+// readBlockRaw reads, checksums and decodes a block, bypassing the cache.
+// Used for the index and filter blocks, which are pinned in memory for the
+// reader's lifetime (as RocksDB does with its index/filter partitions by
+// default), and by compaction iterators.
+func (r *Reader) readBlockRaw(h Handle) ([]byte, error) {
+	img, err := r.readBlockPhysical(h)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBlock(img)
+}
+
+// readBlock fetches a data block through the cache. The cache stores
+// physical images; the logical block is decoded after every Get or miss (a
+// zero-copy slice for uncompressed blocks, a fresh exact-size buffer for
+// flate). fill controls whether a missed block is offered to the cache
+// (false for scan paths when NoFillOnScan is set); scan tags the insert with
+// its origin.
 func (r *Reader) readBlock(h Handle, fill, scan bool, stats *ReadStats) ([]byte, error) {
 	if c := r.opts.Cache; c != nil {
-		if data, ok := c.Get(r.opts.FileNum, h.Offset); ok {
+		if img, ok := c.Get(r.opts.FileNum, h.Offset); ok {
 			if stats != nil {
 				stats.BlockHits++
 			}
-			return data, nil
+			return decodeBlock(img)
 		}
 	}
-	data, err := r.readBlockRaw(h)
+	img, err := r.readBlockPhysical(h)
+	if err != nil {
+		return nil, err
+	}
+	data, err := decodeBlock(img)
 	if err != nil {
 		return nil, err
 	}
@@ -179,10 +232,10 @@ func (r *Reader) readBlock(h Handle, fill, scan bool, stats *ReadStats) ([]byte,
 			// only by actual inserts, never by cache hits.
 			if stats.ScanFillBudget > 0 {
 				stats.ScanFillBudget--
-				c.Insert(r.opts.FileNum, h.Offset, data, scan)
+				c.Insert(r.opts.FileNum, h.Offset, img, len(data), scan)
 			}
 		} else {
-			c.Insert(r.opts.FileNum, h.Offset, data, scan)
+			c.Insert(r.opts.FileNum, h.Offset, img, len(data), scan)
 		}
 	}
 	return data, nil

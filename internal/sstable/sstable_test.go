@@ -166,7 +166,7 @@ func (c *fakeCache) Get(fileNum, off uint64) ([]byte, bool) {
 	return b, ok
 }
 
-func (c *fakeCache) Insert(fileNum, off uint64, data []byte, scan bool) {
+func (c *fakeCache) Insert(fileNum, off uint64, data []byte, logical int, scan bool) {
 	c.store[[2]uint64{fileNum, off}] = data
 	c.inserts++
 	if scan {

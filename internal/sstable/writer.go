@@ -4,13 +4,18 @@
 //
 // Layout:
 //
-//	[data block 0][crc32]
-//	[data block 1][crc32]
+//	[data block 0][type][crc32]
+//	[data block 1][type][crc32]
 //	...
-//	[filter block][crc32]     Bloom filter over user keys
-//	[index block][crc32]      last internal key of each data block → handle
-//	[footer]                  fixed 48 bytes: filter handle, index handle,
-//	                          entry count, magic
+//	[filter block][type][crc32]   Bloom filter over user keys (never compressed)
+//	[index block][type][crc32]    last internal key of each data block → handle
+//	[footer]                      fixed 48 bytes: filter handle, index handle,
+//	                              entry count, magic
+//
+// Each block carries a 5-byte trailer: a compression-type byte (none/flate,
+// negotiated per block — a block that does not shrink is stored raw) and a
+// crc32c over payload+type. Handles address the physical payload, so the
+// block cache naturally holds and charges for physical bytes.
 //
 // Every block read goes through one File.ReadAt call, so the vfs read
 // counter equals the paper's "SST reads" metric, and each read consults the
@@ -49,7 +54,7 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // Handle locates a block within the file.
 type Handle struct {
 	Offset uint64
-	Length uint64 // block payload length, excluding the crc32 suffix
+	Length uint64 // physical payload length, excluding the 5-byte trailer
 }
 
 func (h Handle) encode(dst []byte) []byte {
@@ -73,6 +78,10 @@ type WriterOptions struct {
 	BitsPerKey int
 	// RestartInterval for prefix compression.
 	RestartInterval int
+	// Compression selects per-block compression for data and index blocks
+	// (the filter block is random bits and is always stored raw). The
+	// default, CompressionNone, preserves the uncompressed layout.
+	Compression Compression
 }
 
 func (o WriterOptions) withDefaults() WriterOptions {
@@ -90,7 +99,11 @@ type Meta struct {
 	Smallest   keys.InternalKey
 	Largest    keys.InternalKey
 	NumEntries uint64
-	Size       uint64
+	// Size is the physical file size: what the bytes-on-disk actually are.
+	Size uint64
+	// LogicalSize is what Size would have been with compression off; the
+	// Size/LogicalSize ratio is the table's on-disk compression factor.
+	LogicalSize uint64
 }
 
 // Writer builds an sstable. Entries must be added in increasing internal-key
@@ -108,6 +121,10 @@ type Writer struct {
 	largest    keys.InternalKey
 	lastUser   []byte
 	err        error
+
+	// logicalBytes counts what offset would be with compression off; the
+	// physical/logical gap is the table's on-disk compression saving.
+	logicalBytes uint64
 }
 
 // NewWriter starts a table in f.
@@ -147,7 +164,7 @@ func (w *Writer) flushBlock() {
 	if w.buf.Empty() || w.err != nil {
 		return
 	}
-	h, err := w.writeBlock(w.buf.Finish())
+	h, err := w.writeBlock(w.buf.Finish(), true)
 	if err != nil {
 		w.err = err
 		return
@@ -156,18 +173,31 @@ func (w *Writer) flushBlock() {
 	w.buf.Reset()
 }
 
-// writeBlock writes data + crc and returns its handle.
-func (w *Writer) writeBlock(data []byte) (Handle, error) {
-	h := Handle{Offset: w.offset, Length: uint64(len(data))}
-	if _, err := w.f.Write(data); err != nil {
+// writeBlock writes one block — payload, compression-type byte and crc32
+// over both — and returns its handle. compressible allows the configured
+// compression to apply; the block is stored raw whenever compression is off,
+// disallowed, or fails to shrink the payload.
+func (w *Writer) writeBlock(data []byte, compressible bool) (Handle, error) {
+	payload, typ := data, CompressionNone
+	if compressible && w.opts.Compression == CompressionFlate {
+		if c, ok := compressFlate(data); ok {
+			payload, typ = c, CompressionFlate
+		}
+	}
+	h := Handle{Offset: w.offset, Length: uint64(len(payload))}
+	if _, err := w.f.Write(payload); err != nil {
 		return Handle{}, err
 	}
-	var crcBuf [4]byte
-	binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(data, crcTable))
-	if _, err := w.f.Write(crcBuf[:]); err != nil {
+	var trailer [TrailerLen]byte
+	trailer[0] = byte(typ)
+	crc := crc32.Checksum(payload, crcTable)
+	crc = crc32.Update(crc, crcTable, trailer[:1])
+	binary.LittleEndian.PutUint32(trailer[1:], crc)
+	if _, err := w.f.Write(trailer[:]); err != nil {
 		return Handle{}, err
 	}
-	w.offset += uint64(len(data)) + 4
+	w.offset += uint64(len(payload)) + TrailerLen
+	w.logicalBytes += uint64(len(data)) + TrailerLen
 	return h, nil
 }
 
@@ -188,14 +218,14 @@ func (w *Writer) Finish() (Meta, error) {
 	var filterHandle Handle
 	if w.opts.BitsPerKey > 0 {
 		filter := bloom.Build(w.userKeys, w.opts.BitsPerKey)
-		h, err := w.writeBlock(filter)
+		h, err := w.writeBlock(filter, false)
 		if err != nil {
 			return Meta{}, err
 		}
 		filterHandle = h
 	}
 
-	indexHandle, err := w.writeBlock(w.index.Finish())
+	indexHandle, err := w.writeBlock(w.index.Finish(), true)
 	if err != nil {
 		return Meta{}, err
 	}
@@ -212,11 +242,13 @@ func (w *Writer) Finish() (Meta, error) {
 		return Meta{}, err
 	}
 	w.offset += FooterLen
+	w.logicalBytes += FooterLen
 	return Meta{
-		Smallest:   w.smallest,
-		Largest:    w.largest,
-		NumEntries: w.numEntries,
-		Size:       w.offset,
+		Smallest:    w.smallest,
+		Largest:     w.largest,
+		NumEntries:  w.numEntries,
+		Size:        w.offset,
+		LogicalSize: w.logicalBytes,
 	}, nil
 }
 

@@ -61,7 +61,7 @@ func (c *CountingFS) Create(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &countingFile{File: f, stats: c.Stats}, nil
+	return wrapCounting(f, c.Stats), nil
 }
 
 // Open implements FS.
@@ -70,12 +70,43 @@ func (c *CountingFS) Open(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &countingFile{File: f, stats: c.Stats}, nil
+	return wrapCounting(f, c.Stats), nil
+}
+
+// wrapCounting picks the wrapper type by capability: a file that can serve
+// pinned no-copy views keeps that capability through the counting layer
+// (the engine wraps every FS in CountingFS, so dropping it here would make
+// OSFS memory maps unreachable). Files without it get the plain wrapper, so
+// a type assertion on the wrapped file still reports the truth.
+func wrapCounting(f File, stats *Stats) File {
+	cf := countingFile{File: f, stats: stats}
+	if nc, ok := f.(NoCopyReaderAt); ok {
+		return &countingFileNoCopy{countingFile: cf, nc: nc}
+	}
+	return &cf
 }
 
 type countingFile struct {
 	File
 	stats *Stats
+}
+
+// countingFileNoCopy additionally forwards ReadAtNoCopy, counting each
+// no-copy view served as one read op (it is one block read — the paper's
+// "SST reads" metric must not go dark under mmap).
+type countingFileNoCopy struct {
+	countingFile
+	nc NoCopyReaderAt
+}
+
+func (f *countingFileNoCopy) ReadAtNoCopy(off, n int64) ([]byte, error) {
+	p, err := f.nc.ReadAtNoCopy(off, n)
+	if err != nil {
+		return nil, err
+	}
+	f.stats.ReadOps.Add(1)
+	f.stats.ReadBytes.Add(int64(len(p)))
+	return p, nil
 }
 
 func (f *countingFile) ReadAt(p []byte, off int64) (int, error) {

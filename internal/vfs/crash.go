@@ -46,6 +46,7 @@ type CrashFS struct {
 
 	mu      sync.Mutex
 	files   map[string]*crashState
+	root    string // non-empty: bound the crash-time enumeration to this tree
 	opCount int64
 	armAt   int64 // fail the (armAt+1)-th op; negative = disarmed
 	crashed bool
@@ -60,6 +61,16 @@ type crashState struct {
 // NewCrash wraps inner with crash simulation, disarmed.
 func NewCrash(inner FS) *CrashFS {
 	return &CrashFS{inner: inner, files: make(map[string]*crashState), armAt: -1}
+}
+
+// SetRoot bounds the crash-time file enumeration to the tree under dir.
+// Required when the inner FS is the real OS file system: without a root,
+// Crash would walk the machine's entire namespace looking for device
+// contents. MemFS-backed wrappers don't need it.
+func (c *CrashFS) SetRoot(dir string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.root = clean(dir)
 }
 
 // ArmCrash schedules the crash: the next n durability-relevant operations
@@ -255,7 +266,7 @@ func (c *CrashFS) Crash(opt CrashOptions) *MemFS {
 
 	// Deterministic iteration order: sorted live paths from the inner FS
 	// (untracked paths pre-existed the wrapper and are fully durable).
-	names := allFiles(c.inner)
+	names := allFiles(c.inner, c.root)
 	out := NewMem()
 	for _, name := range names {
 		f, err := c.inner.Open(name)
@@ -295,8 +306,8 @@ func (c *CrashFS) Crash(opt CrashOptions) *MemFS {
 }
 
 // allFiles enumerates every file path on fs: directly for MemFS, otherwise
-// by recursive List from the roots.
-func allFiles(fs FS) []string {
+// by recursive List from root (when set) or the generic "." and "/" roots.
+func allFiles(fs FS, root string) []string {
 	if m, ok := fs.(*MemFS); ok {
 		return m.AllFiles()
 	}
@@ -320,8 +331,12 @@ func allFiles(fs FS) []string {
 			walk(full)
 		}
 	}
-	walk(".")
-	walk("/")
+	if root != "" && root != "." {
+		walk(root)
+	} else {
+		walk(".")
+		walk("/")
+	}
 	sort.Strings(out)
 	return out
 }

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package vfs
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile reports that memory mapping is unsupported on this platform;
+// ReadAtNoCopy then fails and readers fall back to plain ReadAt.
+func mmapFile(*os.File) ([]byte, error) {
+	return nil, errors.New("vfs: memory mapping unsupported on this platform")
+}
+
+func munmap([]byte) {}

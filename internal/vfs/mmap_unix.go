@@ -1,0 +1,32 @@
+//go:build unix
+
+package vfs
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole of f read-only. Empty files are unmappable and
+// report an error, which callers treat as "fall back to ReadAt".
+func mmapFile(f *os.File) ([]byte, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size <= 0 {
+		return nil, errors.New("vfs: cannot map empty file")
+	}
+	if size != int64(int(size)) {
+		return nil, errors.New("vfs: file too large to map")
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping established by mmapFile. Best effort: the only
+// caller is Close, where the descriptor is going away regardless.
+func munmap(data []byte) {
+	_ = syscall.Munmap(data)
+}

@@ -3,47 +3,94 @@ package vfs
 import (
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // OSFS implements FS over the operating system's file system. It lets the
 // engine and tools run against real disks; tests and experiments use MemFS.
+//
+// OSFS honours the engine's durability contract on a real file system:
+// Create, Remove and Rename are followed by an fsync of the parent
+// directory, so an acked namespace operation (the manifest's atomic
+// temp+rename install, WAL creation, obsolete-file deletion) survives a
+// power cut — without the parent sync, a crash can roll back the directory
+// entry even though the file's own data was fsynced.
+//
+// Files opened for reading additionally expose the NoCopyReaderAt
+// capability, serving pinned zero-copy views from a lazily established
+// memory map on platforms that support it.
 type OSFS struct{}
 
 // NewOS returns an OS-backed file system.
 func NewOS() OSFS { return OSFS{} }
 
-// Create implements FS.
+// syncDir fsyncs the directory containing name, making a preceding create,
+// remove or rename of name durable.
+func syncDir(name string) error {
+	d, err := os.Open(filepath.Dir(name))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Create implements FS. The new directory entry is fsynced before Create
+// returns, so the file's existence is as durable as its future contents.
 func (OSFS) Create(name string) (File, error) {
 	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return osFile{f}, nil
+	if err := syncDir(name); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &osFile{f: f}, nil
 }
 
-// Open implements FS.
+// Open implements FS. Files are opened read-only: every engine open (WAL
+// replay, manifest load, SSTable reads) only reads, and a read-only
+// descriptor can never corrupt an immutable table.
 func (OSFS) Open(name string) (File, error) {
-	f, err := os.OpenFile(name, os.O_RDWR, 0)
+	f, err := os.OpenFile(name, os.O_RDONLY, 0)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, &NotExistError{Name: name}
 		}
 		return nil, err
 	}
-	return osFile{f}, nil
+	return &osFile{f: f}, nil
 }
 
-// Remove implements FS.
+// Remove implements FS, fsyncing the parent directory so the deletion is
+// durable.
 func (OSFS) Remove(name string) error {
 	err := os.Remove(name)
 	if os.IsNotExist(err) {
 		return &NotExistError{Name: name}
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	return syncDir(name)
 }
 
-// Rename implements FS.
-func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+// Rename implements FS, fsyncing the destination's parent directory (and
+// the source's when it differs) so the acked rename survives a crash — the
+// durability step the manifest's temp+rename install relies on.
+func (OSFS) Rename(oldname, newname string) error {
+	if err := os.Rename(oldname, newname); err != nil {
+		return err
+	}
+	if err := syncDir(newname); err != nil {
+		return err
+	}
+	if filepath.Dir(oldname) != filepath.Dir(newname) {
+		return syncDir(oldname)
+	}
+	return nil
+}
 
 // List implements FS.
 func (OSFS) List(dir string) ([]string, error) {
@@ -69,17 +116,67 @@ func (OSFS) Exists(name string) bool {
 	return err == nil
 }
 
-type osFile struct{ f *os.File }
+// osFile is an OS-backed file. Read-only handles lazily memory-map the file
+// on the first ReadAtNoCopy call (see mmap_unix.go); the mapping covers the
+// whole file, which is safe because every no-copy consumer reads immutable,
+// fully written tables.
+type osFile struct {
+	f *os.File
 
-func (o osFile) Write(p []byte) (int, error)              { return o.f.Write(p) }
-func (o osFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
-func (o osFile) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
-func (o osFile) Close() error                             { return o.f.Close() }
-func (o osFile) Sync() error                              { return o.f.Sync() }
-func (o osFile) Size() (int64, error) {
+	mu      sync.Mutex
+	mapped  []byte // established mapping; nil until first ReadAtNoCopy
+	mapErr  error  // sticky mapping failure; don't retry a broken map
+	mapDone bool
+}
+
+func (o *osFile) Write(p []byte) (int, error)              { return o.f.Write(p) }
+func (o *osFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+func (o *osFile) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
+func (o *osFile) Sync() error                              { return o.f.Sync() }
+
+func (o *osFile) Close() error {
+	o.mu.Lock()
+	if o.mapped != nil {
+		munmap(o.mapped)
+		o.mapped = nil
+	}
+	o.mapDone = true
+	o.mapErr = os.ErrClosed
+	o.mu.Unlock()
+	return o.f.Close()
+}
+
+func (o *osFile) Size() (int64, error) {
 	info, err := o.f.Stat()
 	if err != nil {
 		return 0, err
 	}
 	return info.Size(), nil
+}
+
+// ReadAtNoCopy implements NoCopyReaderAt: it returns a slice of the file's
+// memory map, established on first use. The view stays valid until Close —
+// on Unix even an unlinked file's pages remain readable while mapped, so
+// long-lived table readers survive compaction deleting their file.
+func (o *osFile) ReadAtNoCopy(off, n int64) ([]byte, error) {
+	o.mu.Lock()
+	if !o.mapDone {
+		o.mapped, o.mapErr = mmapFile(o.f)
+		o.mapDone = true
+	}
+	data, err := o.mapped, o.mapErr
+	o.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 || off+n > int64(len(data)) {
+		return nil, &outOfRangeError{off: off, n: n, size: int64(len(data))}
+	}
+	return data[off : off+n : off+n], nil
+}
+
+type outOfRangeError struct{ off, n, size int64 }
+
+func (e *outOfRangeError) Error() string {
+	return "vfs: no-copy read out of range"
 }

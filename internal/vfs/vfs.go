@@ -28,6 +28,20 @@ type File interface {
 	Size() (int64, error)
 }
 
+// NoCopyReaderAt is an optional File capability: ReadAtNoCopy returns a
+// pinned read-only view of n bytes at off that stays valid until the file is
+// closed, without copying. OSFS implements it with a lazily established
+// memory map; wrapper file systems that do not forward it (crash, fault,
+// latency simulation) simply fall back to ReadAt — callers must probe with a
+// type assertion and treat absence as "copy".
+//
+// Callers must not modify the returned slice, and must not use it after
+// Close. An implementation may fail (for example an empty or unmappable
+// file); callers should fall back to ReadAt on any error.
+type NoCopyReaderAt interface {
+	ReadAtNoCopy(off, n int64) ([]byte, error)
+}
+
 // FS is a minimal file system interface sufficient for an LSM engine.
 type FS interface {
 	// Create creates or truncates the named file for writing.
