@@ -1,0 +1,553 @@
+// Package client is the supported Go client for an adcache cluster (or a
+// single adcached node): it speaks the versioned /v1 wire API, caches the
+// cluster's shard map, routes every key to its owning node, batches
+// multi-key operations per node and dispatches them concurrently over
+// pooled keep-alive connections, and transparently refreshes its map and
+// retries when a node answers WRONG_SHARD — the signal that a shard moved.
+//
+//	c, err := client.New([]string{"127.0.0.1:8081", "127.0.0.1:8082"})
+//	...
+//	err = c.Put([]byte("k"), []byte("v"))
+//	v, ok, err := c.Get([]byte("k"))
+//
+// Against a node started without cluster flags the client runs in
+// single-node mode: no map, every request to the one seed address.
+//
+// Consistency contract: a rebalance fences the old owner before the new
+// owner accepts a key, so an acked write is never lost across a shard
+// move; during the move itself requests to the moving shard retry with
+// backoff (bounded by WithMaxRetries) until the new owner holds both the
+// map and the data. Multi-node Batch is atomic per node, not across
+// nodes. Scan fans out to every node and merges, so results spanning a
+// concurrent rebalance are eventually consistent.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adcache/internal/api"
+	"adcache/internal/cluster"
+)
+
+// KV is one scan result.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// OpKind selects a batch operation.
+type OpKind string
+
+// The batch operation kinds.
+const (
+	OpPut    OpKind = "put"
+	OpDelete OpKind = "delete"
+)
+
+// Op is one operation in a Batch.
+type Op struct {
+	Kind  OpKind
+	Key   []byte
+	Value []byte
+}
+
+// Stats is a point-in-time snapshot of the client's routing behavior —
+// the observable the cluster tests assert on (bounded retries, zero
+// unexpected errors).
+type Stats struct {
+	// Epoch is the client's current shard-map epoch (0 in single-node mode).
+	Epoch uint64
+	// WrongShardRetries counts requests re-sent after a WRONG_SHARD answer.
+	WrongShardRetries int64
+	// MapRefreshes counts shard-map fetches after the initial bootstrap.
+	MapRefreshes int64
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (tests,
+// custom transports). The default pools 64 keep-alive connections per
+// node so concurrent requests to one node pipeline instead of
+// re-dialing.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithMaxRetries bounds per-request WRONG_SHARD/transport retries
+// (default 20 — enough to ride out one shard migration).
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithRetryBackoff sets the per-attempt backoff base (default 5ms; the
+// k-th retry waits k×base, capped at 20×base).
+func WithRetryBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// Client is a shard-map-caching, routing, retrying cluster client. Safe
+// for concurrent use.
+type Client struct {
+	httpc      *http.Client
+	seeds      []string
+	maxRetries int
+	backoff    time.Duration
+
+	cur atomic.Pointer[cluster.ShardMap] // nil in single-node mode
+
+	retries   atomic.Int64
+	refreshes atomic.Int64
+}
+
+// New connects to a cluster through one or more seed addresses
+// ("host:port"). It bootstraps the shard map from the first seed that
+// serves /v1/shardmap; if every seed reports it is not
+// cluster-configured, the client degrades to single-node mode against
+// the first seed.
+func New(seeds []string, opts ...Option) (*Client, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("client: no seed addresses")
+	}
+	c := &Client{
+		seeds:      append([]string(nil), seeds...),
+		maxRetries: 20,
+		backoff:    5 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.httpc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 256
+		tr.MaxIdleConnsPerHost = 64
+		c.httpc = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+	var lastErr error
+	for _, seed := range c.seeds {
+		m, err := c.fetchMap(context.Background(), seed)
+		if err == nil {
+			c.cur.Store(m)
+			return c, nil
+		}
+		var env *api.Envelope
+		if errors.As(err, &env) && env.Code == api.CodeNotFound {
+			return c, nil // single-node mode
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("client: bootstrap failed against all seeds: %w", lastErr)
+}
+
+// Close releases pooled connections.
+func (c *Client) Close() { c.httpc.CloseIdleConnections() }
+
+// Epoch returns the cached shard-map epoch (0 in single-node mode).
+func (c *Client) Epoch() uint64 {
+	if m := c.cur.Load(); m != nil {
+		return m.Epoch
+	}
+	return 0
+}
+
+// Stats returns a snapshot of the client's routing counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Epoch:             c.Epoch(),
+		WrongShardRetries: c.retries.Load(),
+		MapRefreshes:      c.refreshes.Load(),
+	}
+}
+
+// fetchMap GETs /v1/shardmap from addr.
+func (c *Client) fetchMap(ctx context.Context, addr string) (*cluster.ShardMap, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/shardmap", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeEnvelope(resp)
+	}
+	var m cluster.ShardMap
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// refreshFrom adopts addr's map if it is newer than the cached one.
+// Epochs only move forward — a node still holding an older map cannot
+// regress the client.
+func (c *Client) refreshFrom(ctx context.Context, addr string) {
+	m, err := c.fetchMap(ctx, addr)
+	if err != nil {
+		return
+	}
+	c.refreshes.Add(1)
+	for {
+		cur := c.cur.Load()
+		if cur != nil && m.Epoch <= cur.Epoch {
+			return
+		}
+		if c.cur.CompareAndSwap(cur, m) {
+			return
+		}
+	}
+}
+
+// Refresh force-fetches the shard map from every known node, keeping the
+// highest epoch.
+func (c *Client) Refresh(ctx context.Context) {
+	for _, addr := range c.addrs() {
+		c.refreshFrom(ctx, addr)
+	}
+}
+
+// addrs returns every routable node address (map nodes, or the seeds).
+func (c *Client) addrs() []string {
+	if m := c.cur.Load(); m != nil {
+		out := make([]string, len(m.Nodes))
+		for i, n := range m.Nodes {
+			out[i] = n.Addr
+		}
+		return out
+	}
+	return c.seeds[:1]
+}
+
+// route returns the address owning key under the cached map.
+func (c *Client) route(key []byte) string {
+	m := c.cur.Load()
+	if m == nil {
+		return c.seeds[0]
+	}
+	owner := m.OwnerOf(key)
+	if n, ok := m.NodeByID(owner); ok {
+		return n.Addr
+	}
+	return c.seeds[0]
+}
+
+// decodeEnvelope turns a non-2xx response into an *api.Envelope error
+// (synthesizing one when the body is not an envelope).
+func decodeEnvelope(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var env api.Envelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Code != "" {
+		return &env
+	}
+	return &api.Envelope{
+		Code:    api.CodeInternal,
+		Message: fmt.Sprintf("%s: %s", resp.Status, bytes.TrimSpace(body)),
+	}
+}
+
+// do executes one keyed request with WRONG_SHARD/transport retries. fn
+// builds the request for the currently routed address; handle consumes a
+// 2xx response.
+func (c *Client) do(ctx context.Context, key []byte, build func(addr string) (*http.Request, error), handle func(*http.Response) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		if attempt > 0 {
+			c.sleep(ctx, attempt)
+		}
+		addr := c.route(key)
+		req, err := build(addr)
+		if err != nil {
+			return err
+		}
+		if e := c.Epoch(); e > 0 {
+			req.Header.Set(api.HeaderEpoch, strconv.FormatUint(e, 10))
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			lastErr = err // node briefly unreachable; retry
+			continue
+		}
+		c.noteEpochHeader(ctx, resp, addr)
+		if resp.StatusCode/100 == 2 {
+			err := handle(resp)
+			resp.Body.Close()
+			return err
+		}
+		envErr := decodeEnvelope(resp)
+		resp.Body.Close()
+		var env *api.Envelope
+		if errors.As(envErr, &env) && env.Code == api.CodeWrongShard {
+			c.retries.Add(1)
+			lastErr = envErr
+			// The rejecting node is ahead of us: adopt its map and go
+			// again immediately. A node *behind* us (mid-publish) just
+			// needs time — fall through to the backoff.
+			if env.Epoch > c.Epoch() {
+				c.refreshFrom(ctx, addr)
+			}
+			continue
+		}
+		return envErr
+	}
+	return fmt.Errorf("client: retries exhausted for key %q: %w", key, lastErr)
+}
+
+// sleep waits the k-th backoff (k×base, capped at 20×base) or until ctx.
+func (c *Client) sleep(ctx context.Context, attempt int) {
+	d := time.Duration(attempt) * c.backoff
+	if max := 20 * c.backoff; d > max {
+		d = max
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// noteEpochHeader watches response routing headers for evidence of a
+// newer map and refreshes passively.
+func (c *Client) noteEpochHeader(ctx context.Context, resp *http.Response, addr string) {
+	raw := resp.Header.Get(api.HeaderEpoch)
+	if raw == "" {
+		return
+	}
+	e, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return
+	}
+	if cur := c.Epoch(); cur != 0 && e > cur {
+		c.refreshFrom(ctx, addr)
+	}
+}
+
+func (c *Client) keyURL(addr string, key []byte) string {
+	return "http://" + addr + "/v1/kv/" + url.PathEscape(string(key))
+}
+
+// Get fetches key. ok is false when the key does not exist.
+func (c *Client) Get(key []byte) (value []byte, ok bool, err error) {
+	return c.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get with a context.
+func (c *Client) GetCtx(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
+	err = c.do(ctx, key,
+		func(addr string) (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, c.keyURL(addr, key), nil)
+		},
+		func(resp *http.Response) error {
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return err
+			}
+			value, ok = b, true
+			return nil
+		})
+	var env *api.Envelope
+	if errors.As(err, &env) && env.Code == api.CodeNotFound {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return value, ok, nil
+}
+
+// Put writes key=value. A nil error means the write is acked by the
+// shard's owning node.
+func (c *Client) Put(key, value []byte) error {
+	return c.PutCtx(context.Background(), key, value)
+}
+
+// PutCtx is Put with a context.
+func (c *Client) PutCtx(ctx context.Context, key, value []byte) error {
+	return c.do(ctx, key,
+		func(addr string) (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodPut, c.keyURL(addr, key), bytes.NewReader(value))
+		},
+		func(*http.Response) error { return nil })
+}
+
+// Delete removes key (idempotent).
+func (c *Client) Delete(key []byte) error {
+	return c.DeleteCtx(context.Background(), key)
+}
+
+// DeleteCtx is Delete with a context.
+func (c *Client) DeleteCtx(ctx context.Context, key []byte) error {
+	return c.do(ctx, key,
+		func(addr string) (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodDelete, c.keyURL(addr, key), nil)
+		},
+		func(*http.Response) error { return nil })
+}
+
+// Scan returns up to n entries with key >= start (and < end when end is
+// non-empty), merged across every node in key order.
+func (c *Client) Scan(start, end []byte, n int) ([]KV, error) {
+	return c.ScanCtx(context.Background(), start, end, n)
+}
+
+// ScanCtx is Scan with a context.
+func (c *Client) ScanCtx(ctx context.Context, start, end []byte, n int) ([]KV, error) {
+	if n <= 0 {
+		n = 16
+	}
+	addrs := c.addrs()
+	type result struct {
+		kvs []KV
+		err error
+	}
+	results := make([]result, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			results[i].kvs, results[i].err = c.scanNode(ctx, addr, start, end, n)
+		}(i, addr)
+	}
+	wg.Wait()
+	var merged []KV
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		merged = append(merged, r.kvs...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return bytes.Compare(merged[i].Key, merged[j].Key) < 0 })
+	if len(merged) > n {
+		merged = merged[:n]
+	}
+	return merged, nil
+}
+
+func (c *Client) scanNode(ctx context.Context, addr string, start, end []byte, n int) ([]KV, error) {
+	q := url.Values{}
+	q.Set("start", string(start))
+	if len(end) > 0 {
+		q.Set("end", string(end))
+	}
+	q.Set("n", strconv.Itoa(n))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+addr+"/v1/scan?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeEnvelope(resp)
+	}
+	var entries []api.ScanEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		return nil, err
+	}
+	out := make([]KV, len(entries))
+	for i, e := range entries {
+		out[i] = KV{Key: []byte(e.Key), Value: []byte(e.Value)}
+	}
+	return out, nil
+}
+
+// Batch applies ops, grouped by owning node and dispatched concurrently.
+// Each node's group is atomic on that node; cross-node batches are not
+// atomic as a whole. On WRONG_SHARD the affected group is re-routed under
+// the refreshed map and retried.
+func (c *Client) Batch(ops []Op) error {
+	return c.BatchCtx(context.Background(), ops)
+}
+
+// BatchCtx is Batch with a context.
+func (c *Client) BatchCtx(ctx context.Context, ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		if attempt > 0 {
+			c.sleep(ctx, attempt)
+		}
+		groups := map[string][]api.BatchOp{}
+		for _, op := range ops {
+			addr := c.route(op.Key)
+			groups[addr] = append(groups[addr], api.BatchOp{
+				Op: string(op.Kind), Key: string(op.Key), Value: string(op.Value),
+			})
+		}
+		retryable, err := c.sendGroups(ctx, groups)
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		c.retries.Add(1)
+	}
+	return fmt.Errorf("client: batch retries exhausted")
+}
+
+// sendGroups posts each node's group concurrently. It reports whether a
+// failure is retryable (WRONG_SHARD — the map was refreshed already).
+func (c *Client) sendGroups(ctx context.Context, groups map[string][]api.BatchOp) (retryable bool, err error) {
+	type result struct {
+		addr string
+		err  error
+	}
+	results := make(chan result, len(groups))
+	for addr, group := range groups {
+		go func(addr string, group []api.BatchOp) {
+			results <- result{addr, c.postBatch(ctx, addr, group)}
+		}(addr, group)
+	}
+	for range groups {
+		r := <-results
+		if r.err == nil {
+			continue
+		}
+		var env *api.Envelope
+		if errors.As(r.err, &env) && env.Code == api.CodeWrongShard {
+			if env.Epoch > c.Epoch() {
+				c.refreshFrom(ctx, r.addr)
+			}
+			retryable, err = true, r.err
+			continue
+		}
+		return false, r.err
+	}
+	return retryable, err
+}
+
+func (c *Client) postBatch(ctx context.Context, addr string, group []api.BatchOp) error {
+	body, err := json.Marshal(group)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+addr+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeEnvelope(resp)
+	}
+	return nil
+}

@@ -1,0 +1,435 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adcache"
+	"adcache/client"
+	"adcache/internal/cluster"
+	"adcache/internal/metrics"
+	"adcache/internal/server"
+)
+
+// The cluster benchmark reproduces the shard manager's headline scenario:
+// a naive static shard map concentrates a workload's hot key range on one
+// node, the fleet's tail latency is dominated by that node's queueing,
+// and the latency-driven manager detects the hot shards from per-slot
+// histogram windows and spreads them — measured as fleet p99 before vs
+// after, with the client riding the map changes without surfacing errors.
+//
+// Each in-process node serves real HTTP on a loopback listener with a
+// bounded data-plane concurrency and a fixed per-request service time
+// (server.WithServiceTime) modeling nodes backed by slower media. That
+// makes finite node capacity the genuine bottleneck: the hot node's
+// requests queue on its concurrency slots, the queueing delay lands in
+// the per-shard histograms the manager polls, and spreading the hot
+// slots removes it.
+
+// clusterPhase is one measured load window.
+type clusterPhase struct {
+	Ops          int64   `json:"ops"`
+	Seconds      float64 `json:"seconds"`
+	QPS          float64 `json:"qps"`
+	ReadP50Ms    float64 `json:"read_p50_ms"`
+	ReadP99Ms    float64 `json:"read_p99_ms"`
+	WriteP99Ms   float64 `json:"write_p99_ms"`
+	Errors       int64   `json:"errors"`
+	NodeOpsShare []int64 `json:"node_ops_share"` // per node, this window's keyed ops
+}
+
+// clusterBenchOut is the committed BENCH_CLUSTER.json artifact.
+type clusterBenchOut struct {
+	Nodes              int     `json:"nodes"`
+	Shards             int     `json:"shards"`
+	HotShards          []int   `json:"hot_shards"`
+	Keys               int     `json:"keys"`
+	HotKeys            int     `json:"hot_keys"`
+	HotFraction        float64 `json:"hot_fraction"`
+	ReadFraction       float64 `json:"read_fraction"`
+	Workers            int     `json:"workers"`
+	PerNodeConcurrency int     `json:"per_node_concurrency"`
+	ServiceTimeMs      float64 `json:"service_time_ms"`
+
+	Before clusterPhase `json:"before"`
+	After  clusterPhase `json:"after"`
+
+	Moves             int     `json:"moves"`
+	EpochBefore       uint64  `json:"epoch_before"`
+	EpochAfter        uint64  `json:"epoch_after"`
+	WrongShardRetries int64   `json:"wrong_shard_retries"`
+	ReadP99Improve    float64 `json:"read_p99_improvement_pct"`
+}
+
+// benchNode is one in-process cluster member.
+type benchNode struct {
+	id       string
+	addr     string
+	db       *adcache.DB
+	view     *cluster.NodeView
+	srv      *http.Server
+	keyedOps func() int64
+}
+
+func runClusterBench(nKeys, nOps int, asJSON bool, path string) error {
+	const (
+		nNodes   = 3
+		nShards  = cluster.DefaultShards
+		hotFrac  = 0.85
+		readFrac = 0.90
+		// Worker count sits between one node's capacity (6 service slots)
+		// and the fleet's (18): a balanced fleet absorbs the load
+		// queue-free even through random worker pile-ups, while one node
+		// carrying the hot shards is oversubscribed and queues — so the
+		// measured p50/p99 gap is exactly the misplacement cost the
+		// manager removes.
+		workers     = 10
+		perNodeConc = 6
+		valueSize   = 128
+		// Per-request service cost; with perNodeConc slots a node's
+		// capacity is perNodeConc/serviceTime = 300 ops/s, so one node
+		// carrying 85% of the fleet load saturates and queues tens of
+		// milliseconds deep. The time is spent sleeping, not computing,
+		// keeping the CPU cold, and it is sized so the queueing signal
+		// dwarfs scheduler jitter even on single-core CI runners.
+		serviceTime = 20 * time.Millisecond
+	)
+	hotShards := []int{0, 1, 2, 3, 4, 5}
+	if nKeys <= 0 {
+		nKeys = 8192
+	}
+	if nOps <= 0 {
+		nOps = 4000
+	}
+
+	// --- Listeners first: the shard map needs real addresses. ---
+	ids := []string{"a", "b", "c"}
+	listeners := make([]net.Listener, nNodes)
+	nodes := make([]cluster.Node, nNodes)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		listeners[i] = l
+		nodes[i] = cluster.Node{ID: ids[i], Addr: l.Addr().String()}
+	}
+
+	// --- The naive static map: every hot slot on node a, the cold rest
+	// round-robin over b and c. ---
+	initial, err := cluster.InitialMap(nodes, nShards)
+	if err != nil {
+		return err
+	}
+	isHot := map[int]bool{}
+	for _, s := range hotShards {
+		isHot[s] = true
+	}
+	cold := 0
+	for s := 0; s < nShards; s++ {
+		if isHot[s] {
+			initial.Owner[s] = "a"
+		} else {
+			initial.Owner[s] = ids[1+cold%2] // b, c alternating
+			cold++
+		}
+	}
+
+	// --- Nodes: DB + cluster view + HTTP server on the listener. ---
+	members := make([]*benchNode, nNodes)
+	for i, n := range nodes {
+		db, err := adcache.Open(adcache.Options{CacheBytes: 32 << 20})
+		if err != nil {
+			return err
+		}
+		view, err := cluster.NewNodeView(n.ID, initial)
+		if err != nil {
+			return err
+		}
+		h := server.New(db,
+			server.WithCluster(view),
+			server.WithConcurrencyLimit(perNodeConc),
+			server.WithServiceTime(serviceTime))
+		srv := &http.Server{Handler: h}
+		go srv.Serve(listeners[i])
+		reg := db.Registry()
+		kvOps := reg.Counter(`http_requests_total{route="kv"}`, "")
+		batchOps := reg.Counter(`http_requests_total{route="batch"}`, "")
+		members[i] = &benchNode{
+			id: n.ID, addr: n.Addr, db: db, view: view, srv: srv,
+			keyedOps: func() int64 { return kvOps.Value() + batchOps.Value() },
+		}
+	}
+	defer func() {
+		for _, m := range members {
+			m.srv.Close()
+			m.db.Close()
+		}
+	}()
+
+	// --- Client + preload. Hot keys are the keys hashing into the hot
+	// slots; the key space is enumerated until both pools are full. ---
+	seeds := make([]string, nNodes)
+	for i, n := range nodes {
+		seeds[i] = n.Addr
+	}
+	cl, err := client.New(seeds)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	var hotKeys, coldKeys [][]byte
+	for i := 0; len(hotKeys)+len(coldKeys) < nKeys; i++ {
+		k := []byte(fmt.Sprintf("user%08d", i))
+		if isHot[cluster.ShardOf(k, nShards)] {
+			hotKeys = append(hotKeys, k)
+		} else {
+			coldKeys = append(coldKeys, k)
+		}
+	}
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	preload := func(keys [][]byte) error {
+		for off := 0; off < len(keys); off += 256 {
+			end := off + 256
+			if end > len(keys) {
+				end = len(keys)
+			}
+			ops := make([]client.Op, 0, end-off)
+			for _, k := range keys[off:end] {
+				ops = append(ops, client.Op{Kind: client.OpPut, Key: k, Value: val})
+			}
+			if err := cl.Batch(ops); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := preload(hotKeys); err != nil {
+		return err
+	}
+	if err := preload(coldKeys); err != nil {
+		return err
+	}
+
+	// --- Load phase runner: workers hammer the cluster, latencies land
+	// in fresh histograms per phase. ---
+	runPhase := func(ops int) clusterPhase {
+		readH, writeH := &metrics.Histogram{}, &metrics.Histogram{}
+		var done, errs atomic.Int64
+		startOps := make([]int64, nNodes)
+		for i, m := range members {
+			startOps[i] = m.keyedOps()
+		}
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for done.Add(1) <= int64(ops) {
+					var k []byte
+					if rng.Float64() < hotFrac {
+						k = hotKeys[rng.Intn(len(hotKeys))]
+					} else {
+						k = coldKeys[rng.Intn(len(coldKeys))]
+					}
+					op0 := time.Now()
+					if rng.Float64() < readFrac {
+						_, _, err := cl.Get(k)
+						readH.ObserveSince(op0)
+						if err != nil {
+							errs.Add(1)
+						}
+					} else {
+						err := cl.Put(k, val)
+						writeH.ObserveSince(op0)
+						if err != nil {
+							errs.Add(1)
+						}
+					}
+				}
+			}(int64(w) + 1)
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		r, wr := readH.Snapshot(), writeH.Snapshot()
+		share := make([]int64, nNodes)
+		for i, m := range members {
+			share[i] = m.keyedOps() - startOps[i]
+		}
+		return clusterPhase{
+			Ops:          r.Count + wr.Count,
+			Seconds:      elapsed.Seconds(),
+			QPS:          float64(r.Count+wr.Count) / elapsed.Seconds(),
+			ReadP50Ms:    r.Quantile(0.50) / 1e6,
+			ReadP99Ms:    r.Quantile(0.99) / 1e6,
+			WriteP99Ms:   wr.Quantile(0.99) / 1e6,
+			Errors:       errs.Load(),
+			NodeOpsShare: share,
+		}
+	}
+
+	fmt.Printf("cluster bench: %d nodes × %d slots, %d keys (%d hot in slots %v), %d workers, conc %d/node, service %v\n",
+		nNodes, nShards, nKeys, len(hotKeys), hotShards, workers, perNodeConc, serviceTime)
+
+	// Phase 1: static naive map, no manager.
+	before := runPhase(nOps)
+	fmt.Printf("  before: qps=%.0f read p50=%.2fms p99=%.2fms write p99=%.2fms node-ops=%v errors=%d\n",
+		before.QPS, before.ReadP50Ms, before.ReadP99Ms, before.WriteP99Ms, before.NodeOpsShare, before.Errors)
+
+	// Transition: shard manager online under live load until it stops
+	// finding profitable moves.
+	mgr, err := cluster.NewManager(initial, cluster.ManagerOptions{
+		// Long windows average out load randomness; the cooldown spans
+		// several of them because per-shard latency includes queueing
+		// delay, so right after a move the draining backlog still reads
+		// hot — deciding again before it clears overshoots.
+		Interval:       500 * time.Millisecond,
+		Cooldown:       1500 * time.Millisecond,
+		MinWindowOps:   60,
+		ImbalanceRatio: 1.6,
+		Logf: func(f string, a ...any) {
+			fmt.Fprintf(os.Stderr, "  "+f+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go mgr.Run(ctx)
+	transStop := make(chan struct{})
+	var transWG sync.WaitGroup
+	transWG.Add(1)
+	go func() { // background load so the manager has windows to act on
+		defer transWG.Done()
+		rng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-transStop:
+				return
+			default:
+			}
+			k := hotKeys[rng.Intn(len(hotKeys))]
+			if rng.Float64() >= hotFrac {
+				k = coldKeys[rng.Intn(len(coldKeys))]
+			}
+			cl.Get(k)
+		}
+	}()
+	// More transition load — enough that manager windows cross
+	// MinWindowOps, but deliberately BELOW fleet capacity (18 slots) and
+	// above hot-node capacity (6): the overloaded node queues and reads
+	// hot while a balanced fleet runs queue-free and reads even, so the
+	// manager converges instead of chasing queue-amplified noise.
+	for w := 0; w < 8; w++ {
+		transWG.Add(1)
+		go func(seed int64) {
+			defer transWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-transStop:
+					return
+				default:
+				}
+				if rng.Float64() < hotFrac {
+					cl.Get(hotKeys[rng.Intn(len(hotKeys))])
+				} else {
+					cl.Get(coldKeys[rng.Intn(len(coldKeys))])
+				}
+			}
+		}(100 + int64(w))
+	}
+	deadline := time.Now().Add(25 * time.Second)
+	lastMoves, lastChange := 0, time.Now()
+	for time.Now().Before(deadline) {
+		time.Sleep(100 * time.Millisecond)
+		if m := mgr.Moves(); m != lastMoves {
+			lastMoves, lastChange = m, time.Now()
+		} else if m > 0 && time.Since(lastChange) > 3500*time.Millisecond {
+			break // converged: no profitable move for several windows
+		}
+	}
+	close(transStop)
+	transWG.Wait()
+	cancel()
+
+	finalMap := mgr.Current()
+	owners := map[string][]int{}
+	for _, s := range hotShards {
+		owners[finalMap.Owner[s]] = append(owners[finalMap.Owner[s]], s)
+	}
+	var ownerDesc []string
+	for id, ss := range owners {
+		ownerDesc = append(ownerDesc, fmt.Sprintf("%s:%v", id, ss))
+	}
+	sort.Strings(ownerDesc)
+	fmt.Printf("  rebalance: %d moves, epoch %d→%d, hot slots now %v\n",
+		mgr.Moves(), initial.Epoch, finalMap.Epoch, ownerDesc)
+
+	// Phase 2: same load, rebalanced map.
+	after := runPhase(nOps)
+	fmt.Printf("  after:  qps=%.0f read p50=%.2fms p99=%.2fms write p99=%.2fms node-ops=%v errors=%d\n",
+		after.QPS, after.ReadP50Ms, after.ReadP99Ms, after.WriteP99Ms, after.NodeOpsShare, after.Errors)
+
+	improve := 0.0
+	if before.ReadP99Ms > 0 {
+		improve = 100 * (before.ReadP99Ms - after.ReadP99Ms) / before.ReadP99Ms
+	}
+	verdict := "better"
+	if improve < 0 {
+		verdict = "worse"
+	}
+	st := cl.Stats()
+	fmt.Printf("  fleet read p99: %.2fms → %.2fms (%.1f%% %s), wrong-shard retries=%d\n",
+		before.ReadP99Ms, after.ReadP99Ms, improve, verdict, st.WrongShardRetries)
+
+	if before.Errors+after.Errors > 0 {
+		return fmt.Errorf("cluster bench: %d user-visible errors in measured phases",
+			before.Errors+after.Errors)
+	}
+	if mgr.Moves() == 0 {
+		return fmt.Errorf("cluster bench: shard manager made no moves")
+	}
+	if improve <= 0 {
+		return fmt.Errorf("cluster bench: rebalance did not improve fleet read p99 (%.2fms → %.2fms)",
+			before.ReadP99Ms, after.ReadP99Ms)
+	}
+
+	if asJSON {
+		out := clusterBenchOut{
+			Nodes: nNodes, Shards: nShards, HotShards: hotShards,
+			Keys: nKeys, HotKeys: len(hotKeys), HotFraction: hotFrac,
+			ReadFraction: readFrac, Workers: workers, PerNodeConcurrency: perNodeConc,
+			ServiceTimeMs: serviceTime.Seconds() * 1000,
+			Before:        before, After: after,
+			Moves: mgr.Moves(), EpochBefore: initial.Epoch, EpochAfter: finalMap.Epoch,
+			WrongShardRetries: st.WrongShardRetries,
+			ReadP99Improve:    improve,
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+	return nil
+}

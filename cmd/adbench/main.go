@@ -37,6 +37,17 @@
 // BENCH_DISK.json):
 //
 //	adbench -disk -json
+//
+// With -cluster, adbench stands up a 3-node sharded cluster in-process —
+// every hot hash slot deliberately placed on one node — measures fleet
+// read p50/p99 through the public client, lets the latency-driven shard
+// manager rebalance under live load, and measures again. With -json it
+// writes the before/after phases, the move count and the p99 improvement
+// to -out (default BENCH_CLUSTER.json); it exits non-zero if any
+// user-visible client error occurs or the rebalance does not improve
+// fleet read p99:
+//
+//	adbench -cluster -json
 package main
 
 import (
@@ -63,10 +74,23 @@ func main() {
 		readpath = flag.Bool("readpath", false, "run the read-path micro-benchmarks (ns/op, B/op, allocs/op)")
 		compact  = flag.Bool("compaction", false, "run the compaction benchmark (serial vs parallel subcompactions)")
 		disk     = flag.Bool("disk", false, "run the on-disk persistence benchmark (none vs flate block compression on OSFS)")
-		asJSON   = flag.Bool("json", false, "with -readpath, -compaction or -disk, write results as JSON")
-		out      = flag.String("out", "", "with -json, output file (default BENCH_READPATH.json / BENCH_COMPACTION.json / BENCH_DISK.json)")
+		clusterB = flag.Bool("cluster", false, "run the 3-node cluster benchmark (fleet p99 before/after a latency-driven rebalance)")
+		asJSON   = flag.Bool("json", false, "with -readpath, -compaction, -disk or -cluster, write results as JSON")
+		out      = flag.String("out", "", "with -json, output file (default BENCH_READPATH.json / BENCH_COMPACTION.json / BENCH_DISK.json / BENCH_CLUSTER.json)")
 	)
 	flag.Parse()
+
+	if *clusterB {
+		path := *out
+		if path == "" {
+			path = "BENCH_CLUSTER.json"
+		}
+		if err := runClusterBench(*keys, *ops, *asJSON, path); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compact {
 		n := 200_000

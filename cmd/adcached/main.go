@@ -1,22 +1,41 @@
-// Command adcached serves a store over HTTP (see internal/server for the
-// endpoint reference).
+// Command adcached serves a store over the versioned /v1 HTTP API (see
+// internal/server for the endpoint reference, API.md for the wire
+// format), either as a single node or as one member of a sharded
+// cluster.
 //
-// Usage:
+// Single node:
 //
 //	adcached -dir /var/lib/adcache -addr :8080 -cache 268435456
-//	curl -X PUT -d 'value' localhost:8080/kv/mykey
-//	curl localhost:8080/kv/mykey
-//	curl 'localhost:8080/scan?start=my&n=10'
-//	curl localhost:8080/stats
+//	curl -X PUT -d 'value' localhost:8080/v1/kv/mykey
+//	curl localhost:8080/v1/kv/mykey
+//	curl 'localhost:8080/v1/scan?start=my&n=10'
+//	curl localhost:8080/v1/stats
+//
+// Cluster of three (run each in its own terminal, then point the client
+// package — or curl — at any of them):
+//
+//	adcached -node a -addr :8081 -peers a=127.0.0.1:8081,b=127.0.0.1:8082,c=127.0.0.1:8083 -dir /tmp/node-a
+//	adcached -node b -addr :8082 -peers a=127.0.0.1:8081,b=127.0.0.1:8082,c=127.0.0.1:8083 -dir /tmp/node-b
+//	adcached -node c -addr :8083 -peers a=127.0.0.1:8081,b=127.0.0.1:8082,c=127.0.0.1:8083 -dir /tmp/node-c -manage
+//
+// Every member computes the identical epoch-1 round-robin shard map from
+// the sorted -peers list, so the cluster needs no bootstrap coordinator.
+// Exactly one member should run with -manage: it hosts the shard manager,
+// which polls every node's per-shard latency histograms and rebalances
+// hot shards by publishing higher map epochs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"adcache"
+	"adcache/internal/cluster"
 	"adcache/internal/lsm"
 	"adcache/internal/server"
 	"adcache/internal/vfs"
@@ -30,13 +49,19 @@ func main() {
 		strategy = flag.String("strategy", "adcache", "cache strategy: adcache|block|kv|range|lecar|cacheus|none")
 		readonly = flag.Bool("readonly", false, "reject writes; serve reads and observability only")
 		maxBody  = flag.Int64("maxbody", 0, "request body size cap in bytes (default 64 MiB)")
+		maxReqs  = flag.Int("maxinflight", 0, "bound on concurrent data-plane requests (0 = unlimited)")
+
+		nodeID   = flag.String("node", "", "cluster node ID (enables cluster mode with -peers)")
+		peers    = flag.String("peers", "", "cluster members as id=host:port,id=host:port")
+		shards   = flag.Int("shards", cluster.DefaultShards, "cluster hash-slot count (fixed for the cluster's lifetime)")
+		manage   = flag.Bool("manage", false, "run the shard manager in this process")
+		interval = flag.Duration("manage-interval", 2*time.Second, "shard-manager poll period")
 	)
 	flag.Parse()
 
 	strat, err := adcache.ParseStrategy(*strategy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "adcached:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	lsmOpts := lsm.DefaultOptions(*dir)
@@ -48,10 +73,54 @@ func main() {
 		LSM:        &lsmOpts,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "adcached:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer db.Close()
+
+	opts := []server.Option{}
+	if *readonly {
+		opts = append(opts, server.WithReadOnly())
+	}
+	if *maxBody > 0 {
+		opts = append(opts, server.WithMaxBodyBytes(*maxBody))
+	}
+	if *maxReqs > 0 {
+		opts = append(opts, server.WithConcurrencyLimit(*maxReqs))
+	}
+
+	if (*nodeID == "") != (*peers == "") {
+		fatal(fmt.Errorf("cluster mode needs both -node and -peers"))
+	}
+	if *nodeID != "" {
+		nodes, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fatal(err)
+		}
+		initial, err := cluster.InitialMap(nodes, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		view, err := cluster.NewNodeView(*nodeID, initial)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, server.WithCluster(view))
+		fmt.Printf("adcached: node %q in %d-node cluster, %d hash slots, owning %v\n",
+			*nodeID, len(nodes), initial.Shards, initial.OwnedBy(*nodeID))
+		if *manage {
+			mgr, err := cluster.NewManager(initial, cluster.ManagerOptions{
+				Interval: *interval,
+				Logf:     log.Printf,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			go mgr.Run(context.Background())
+			fmt.Printf("adcached: shard manager running (poll %s)\n", *interval)
+		}
+	} else if *manage {
+		fatal(fmt.Errorf("-manage requires cluster mode (-node and -peers)"))
+	}
 
 	mode := "read-write"
 	if *readonly {
@@ -59,11 +128,14 @@ func main() {
 	}
 	fmt.Printf("adcached: serving %s (%s strategy, %d MiB cache, %s) on %s\n",
 		*dir, db.Strategy(), *cache>>20, mode, *addr)
-	fmt.Printf("adcached: observability at %s/stats (JSON), %s/metrics (Prometheus), %s/debug/vars (expvar)\n",
-		*addr, *addr, *addr)
-	handler := server.NewHandler(db, server.Options{ReadOnly: *readonly, MaxBodyBytes: *maxBody})
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		fmt.Fprintln(os.Stderr, "adcached:", err)
-		os.Exit(1)
+	fmt.Printf("adcached: API under %s/v1/ (legacy aliases deprecated); observability at %s/v1/stats, %s/metrics, %s/debug/vars\n",
+		*addr, *addr, *addr, *addr)
+	if err := http.ListenAndServe(*addr, server.New(db, opts...)); err != nil {
+		fatal(err)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adcached:", err)
+	os.Exit(1)
 }

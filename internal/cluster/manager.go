@@ -1,0 +1,466 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"adcache/internal/api"
+	"adcache/internal/metrics"
+)
+
+// ManagerOptions tunes the shard manager's control loop.
+type ManagerOptions struct {
+	// Interval is the poll period (default 2s).
+	Interval time.Duration
+	// ImbalanceRatio triggers a move when the busiest node's window load
+	// exceeds this multiple of the least busy node's (default 1.5).
+	ImbalanceRatio float64
+	// OpsImbalanceRatio is the op-count imbalance that must corroborate
+	// the latency imbalance before a move (default 1.3). Sojourn-time
+	// sums are queue-amplified — near saturation a small load asymmetry
+	// reads as a large busy asymmetry, and a draining backlog keeps a
+	// node reading hot after the cause is gone — while raw op counts are
+	// low-variance. Requiring both keeps queue noise from causing churn.
+	OpsImbalanceRatio float64
+	// MinWindowOps is the fleet-wide op count a poll window must contain
+	// before the manager acts — avoids rebalancing on noise (default 200).
+	MinWindowOps int64
+	// Cooldown is the minimum gap between moves (default 2×Interval), so
+	// the next window reflects the previous move before another is made.
+	Cooldown time.Duration
+	// HTTPTimeout bounds each control RPC (default 10s).
+	HTTPTimeout time.Duration
+	// MigrateChunk is the number of entries per bulk-load request during a
+	// shard copy (default 1024).
+	MigrateChunk int
+	// Logf, when set, receives one line per decision and move.
+	Logf func(format string, args ...any)
+}
+
+func (o *ManagerOptions) defaults() {
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Second
+	}
+	if o.ImbalanceRatio <= 1 {
+		o.ImbalanceRatio = 1.5
+	}
+	if o.OpsImbalanceRatio <= 1 {
+		o.OpsImbalanceRatio = 1.3
+	}
+	if o.MinWindowOps <= 0 {
+		o.MinWindowOps = 200
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 2 * o.Interval
+	}
+	if o.HTTPTimeout <= 0 {
+		o.HTTPTimeout = 10 * time.Second
+	}
+	if o.MigrateChunk <= 0 {
+		o.MigrateChunk = 1024
+	}
+}
+
+// Manager is the latency-driven rebalancer: it polls every node's
+// per-shard read/write histograms, diffs successive polls into load
+// windows, and when one node is carrying disproportionate load it moves a
+// hash slot to the least-loaded node by fencing the old owner on a new
+// epoch, copying the slot's data, and publishing the map fleet-wide.
+//
+// The manager is the cluster's only map publisher; nodes accept any map
+// with a higher epoch, so a restarted manager first adopts the highest
+// epoch any node holds (SyncMap) before publishing again.
+type Manager struct {
+	opts  ManagerOptions
+	httpc *http.Client
+
+	mu       sync.Mutex
+	cur      *ShardMap
+	prev     map[string][]api.ShardStat // node ID → last cumulative poll
+	lastMove time.Time
+	moves    int
+}
+
+// NewManager returns a manager starting from m (typically InitialMap).
+func NewManager(m *ShardMap, opts ManagerOptions) (*Manager, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	opts.defaults()
+	return &Manager{
+		opts:  opts,
+		httpc: &http.Client{Timeout: opts.HTTPTimeout},
+		cur:   m,
+		prev:  make(map[string][]api.ShardStat),
+	}, nil
+}
+
+// Current returns the manager's current map (MapSource).
+func (mg *Manager) Current() *ShardMap {
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	return mg.cur
+}
+
+// Moves returns the number of shard moves executed so far.
+func (mg *Manager) Moves() int {
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	return mg.moves
+}
+
+func (mg *Manager) logf(format string, args ...any) {
+	if mg.opts.Logf != nil {
+		mg.opts.Logf(format, args...)
+	}
+}
+
+// Run drives the control loop until ctx is cancelled: sync once, then
+// poll/decide/move every Interval. Poll errors are logged and skipped —
+// an unreachable node pauses rebalancing rather than crashing the loop.
+func (mg *Manager) Run(ctx context.Context) {
+	if err := mg.SyncMap(ctx); err != nil {
+		mg.logf("cluster-manager: initial sync: %v", err)
+	}
+	t := time.NewTicker(mg.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if moved, err := mg.RebalanceOnce(ctx); err != nil {
+				mg.logf("cluster-manager: rebalance: %v", err)
+			} else if moved {
+				mg.logf("cluster-manager: epoch now %d", mg.Current().Epoch)
+			}
+		}
+	}
+}
+
+// SyncMap fetches /v1/shardmap from every node and adopts the highest
+// epoch seen — the recovery path after a manager restart.
+func (mg *Manager) SyncMap(ctx context.Context) error {
+	mg.mu.Lock()
+	nodes := mg.cur.Nodes
+	mg.mu.Unlock()
+	var firstErr error
+	for _, n := range nodes {
+		var m ShardMap
+		if err := mg.getJSON(ctx, n.Addr, "/v1/shardmap", &m); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("node %s: %w", n.ID, err)
+			}
+			continue
+		}
+		mg.mu.Lock()
+		if m.Epoch > mg.cur.Epoch && m.Shards == mg.cur.Shards {
+			mg.cur = &m
+		}
+		mg.mu.Unlock()
+	}
+	return firstErr
+}
+
+// nodeWindow is one node's load over the last poll window.
+type nodeWindow struct {
+	node  Node
+	busy  int64           // Σ read+write latency nanos over owned shards
+	ops   int64           // Σ read+write ops
+	shard map[int]int64   // per-slot busy nanos
+	p99r  map[int]float64 // per-slot window read p99
+}
+
+// subSnap returns cur − prev bucket-wise: the observations recorded in
+// the window between two cumulative polls.
+func subSnap(cur, prev metrics.HistogramSnapshot) metrics.HistogramSnapshot {
+	out := cur
+	out.Count -= prev.Count
+	out.Sum -= prev.Sum
+	for i := range out.Buckets {
+		out.Buckets[i] -= prev.Buckets[i]
+	}
+	if out.Count < 0 { // node restarted; treat as fresh
+		return cur
+	}
+	return out
+}
+
+// RebalanceOnce performs one poll-decide-move cycle. It returns whether a
+// shard was moved. The first poll after start (or after a node restart)
+// only establishes baselines.
+func (mg *Manager) RebalanceOnce(ctx context.Context) (bool, error) {
+	mg.mu.Lock()
+	cur := mg.cur
+	lastMove := mg.lastMove
+	mg.mu.Unlock()
+
+	windows := make([]*nodeWindow, 0, len(cur.Nodes))
+	var fleetOps int64
+	baseline := false
+	for _, n := range cur.Nodes {
+		var st api.ShardStats
+		if err := mg.getJSON(ctx, n.Addr, "/v1/shardstats", &st); err != nil {
+			return false, fmt.Errorf("poll %s: %w", n.ID, err)
+		}
+		w := &nodeWindow{node: n, shard: map[int]int64{}, p99r: map[int]float64{}}
+		mg.mu.Lock()
+		prev, havePrev := mg.prev[n.ID]
+		mg.prev[n.ID] = st.Shards
+		mg.mu.Unlock()
+		if !havePrev {
+			baseline = true
+			continue
+		}
+		prevBy := make(map[int]api.ShardStat, len(prev))
+		for _, s := range prev {
+			prevBy[s.Shard] = s
+		}
+		for _, s := range st.Shards {
+			p := prevBy[s.Shard]
+			r := subSnap(s.Reads, p.Reads)
+			wr := subSnap(s.Writes, p.Writes)
+			busy := r.Sum + wr.Sum
+			w.shard[s.Shard] = busy
+			w.p99r[s.Shard] = r.Quantile(0.99)
+			w.busy += busy
+			w.ops += r.Count + wr.Count
+		}
+		fleetOps += w.ops
+		windows = append(windows, w)
+	}
+	if baseline || len(windows) < 2 {
+		return false, nil
+	}
+	if fleetOps < mg.opts.MinWindowOps {
+		return false, nil
+	}
+	if !lastMove.IsZero() && time.Since(lastMove) < mg.opts.Cooldown {
+		return false, nil
+	}
+
+	sort.Slice(windows, func(i, j int) bool { return windows[i].busy > windows[j].busy })
+	hot, cold := windows[0], windows[len(windows)-1]
+	if hot.busy == 0 {
+		return false, nil
+	}
+	if cold.busy > 0 && float64(hot.busy) < mg.opts.ImbalanceRatio*float64(cold.busy) {
+		return false, nil
+	}
+	if cold.ops > 0 && float64(hot.ops) < mg.opts.OpsImbalanceRatio*float64(cold.ops) {
+		return false, nil
+	}
+
+	// Pick the slot on the hot node whose move best narrows the gap:
+	// minimize |(hot−s) − (cold+s)| over owned, non-idle slots.
+	gap := hot.busy - cold.busy
+	best, bestScore := -1, int64(1)<<62
+	for _, s := range cur.OwnedBy(hot.node.ID) {
+		b := hot.shard[s]
+		if b <= 0 {
+			continue
+		}
+		score := gap - 2*b
+		if score < 0 {
+			score = -score
+		}
+		if score < bestScore {
+			best, bestScore = s, score
+		}
+	}
+	if best < 0 || bestScore >= gap {
+		return false, nil // no move improves the imbalance
+	}
+	mg.logf("cluster-manager: hot node %s (busy %dms, shard %d p99 %.1fms) → moving shard %d to %s",
+		hot.node.ID, hot.busy/1e6, best, hot.p99r[best]/1e6, best, cold.node.ID)
+	if err := mg.MoveShard(ctx, best, cold.node.ID); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// MoveShard migrates one slot to node to and publishes the new epoch
+// fleet-wide. The ordering is the consistency contract:
+//
+//  1. fence — the old owner accepts the new map first, so it starts
+//     rejecting the slot's keys with WRONG_SHARD before any data moves;
+//  2. copy — the slot's entries stream from the old owner into the new
+//     owner over the binary-safe migration endpoints;
+//  3. publish — every other node (the new owner first) accepts the map;
+//  4. purge — the old owner deletes its now-foreign copy of the slot.
+//
+// A write acked before the fence is included in the copy; a write issued
+// during the move is never acked until the new owner both holds the map
+// and the data, so acked writes survive the move by construction. If the
+// manager dies between fence and publish the slot is unavailable (clients
+// retry WRONG_SHARD) but no data is lost — the purge runs strictly last.
+func (mg *Manager) MoveShard(ctx context.Context, shard int, to string) error {
+	mg.mu.Lock()
+	cur := mg.cur
+	mg.mu.Unlock()
+	if shard < 0 || shard >= cur.Shards {
+		return fmt.Errorf("cluster: shard %d out of range", shard)
+	}
+	fromID := cur.Owner[shard]
+	if fromID == to {
+		return nil
+	}
+	from, _ := cur.NodeByID(fromID)
+	dest, ok := cur.NodeByID(to)
+	if !ok {
+		return fmt.Errorf("cluster: unknown destination node %q", to)
+	}
+	next, err := cur.WithMove(shard, to)
+	if err != nil {
+		return err
+	}
+
+	// 1. Fence the old owner.
+	if err := mg.postMap(ctx, from.Addr, next); err != nil {
+		return fmt.Errorf("fence %s: %w", from.ID, err)
+	}
+	// 2. Copy the slot.
+	entries, err := mg.fetchShard(ctx, from.Addr, shard)
+	if err != nil {
+		return fmt.Errorf("fetch shard %d from %s: %w", shard, from.ID, err)
+	}
+	for off := 0; off < len(entries); off += mg.opts.MigrateChunk {
+		end := off + mg.opts.MigrateChunk
+		if end > len(entries) {
+			end = len(entries)
+		}
+		if err := mg.postChunk(ctx, dest.Addr, shard, entries[off:end]); err != nil {
+			return fmt.Errorf("load shard %d into %s: %w", shard, dest.ID, err)
+		}
+	}
+	// 3. Publish fleet-wide, destination first so retried client requests
+	// land on a node that already owns the slot.
+	if err := mg.postMap(ctx, dest.Addr, next); err != nil {
+		return fmt.Errorf("publish to %s: %w", dest.ID, err)
+	}
+	for _, n := range next.Nodes {
+		if n.ID == from.ID || n.ID == dest.ID {
+			continue
+		}
+		if err := mg.postMap(ctx, n.Addr, next); err != nil {
+			mg.logf("cluster-manager: publish to %s: %v (will converge via headers)", n.ID, err)
+		}
+	}
+	// 4. Purge the old owner's copy. Best-effort: servers filter scans by
+	// ownership, so a leftover copy is invisible, just disk weight.
+	if err := mg.purgeShard(ctx, from.Addr, shard); err != nil {
+		mg.logf("cluster-manager: purge shard %d on %s: %v", shard, from.ID, err)
+	}
+
+	mg.mu.Lock()
+	mg.cur = next
+	mg.lastMove = time.Now()
+	mg.moves++
+	mg.mu.Unlock()
+	mg.logf("cluster-manager: shard %d moved %s → %s (%d entries, epoch %d)",
+		shard, from.ID, dest.ID, len(entries), next.Epoch)
+	return nil
+}
+
+func (mg *Manager) getJSON(ctx context.Context, addr, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := mg.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(b))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (mg *Manager) postMap(ctx context.Context, addr string, m *ShardMap) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return mg.post(ctx, addr, "/v1/shardmap", body, false)
+}
+
+func (mg *Manager) fetchShard(ctx context.Context, addr string, shard int) ([]api.MigrateEntry, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("http://%s/v1/migrate?shard=%d", addr, shard), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(api.HeaderInternal, api.InternalMigrate)
+	resp, err := mg.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET /v1/migrate: %s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	var entries []api.MigrateEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+func (mg *Manager) postChunk(ctx context.Context, addr string, shard int, entries []api.MigrateEntry) error {
+	body, err := json.Marshal(entries)
+	if err != nil {
+		return err
+	}
+	return mg.post(ctx, addr, fmt.Sprintf("/v1/migrate?shard=%d", shard), body, true)
+}
+
+func (mg *Manager) purgeShard(ctx context.Context, addr string, shard int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		fmt.Sprintf("http://%s/v1/migrate?shard=%d", addr, shard), nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(api.HeaderInternal, api.InternalMigrate)
+	resp, err := mg.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("DELETE /v1/migrate: %s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	return nil
+}
+
+func (mg *Manager) post(ctx context.Context, addr, path string, body []byte, internal bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if internal {
+		req.Header.Set(api.HeaderInternal, api.InternalMigrate)
+	}
+	resp, err := mg.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST %s: %s: %s", path, resp.Status, bytes.TrimSpace(b))
+	}
+	return nil
+}

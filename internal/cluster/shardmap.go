@@ -1,0 +1,197 @@
+// Package cluster is the scale-out layer: a versioned shard map assigning
+// hash-partitioned key ownership to engine nodes, the per-node view a
+// server enforces requests against, and a latency-driven shard manager
+// that polls per-shard read/write histograms and rebalances hot shards by
+// publishing new map epochs.
+//
+// The partitioning model is fixed hash slots: every key hashes (FNV-1a)
+// into one of ShardMap.Shards slots, and the map assigns each slot to
+// exactly one node. Rebalancing never changes the slot count — slots are
+// deliberately finer-grained than nodes (default 16 slots across 3 nodes)
+// so "splitting" a hot range means the hot slots are already separable and
+// a move redistributes them. Every map carries a monotonically increasing
+// Epoch; nodes and clients treat a higher epoch as strictly newer and
+// reject regressions, which is the entire consistency story: a shard move
+// fences the old owner on epoch E+1 before the new owner accepts a single
+// key, so two nodes never both claim a slot.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// DefaultShards is the default hash-slot count. It only needs to exceed
+// the node count by enough that load differences are expressible as slot
+// moves; 16 slots over a handful of nodes keeps per-slot histograms cheap.
+const DefaultShards = 16
+
+// Node identifies one engine node in the cluster.
+type Node struct {
+	// ID is the node's stable name (unique within the map).
+	ID string `json:"id"`
+	// Addr is the node's HTTP address, host:port (no scheme).
+	Addr string `json:"addr"`
+}
+
+// ShardMap is the versioned ownership table: shard slot i belongs to the
+// node named Owner[i]. Maps are immutable once published — rebalancing
+// clones, edits, bumps Epoch, and republishes.
+type ShardMap struct {
+	// Epoch orders maps; nodes and clients only ever move forward.
+	Epoch uint64 `json:"epoch"`
+	// Shards is the fixed hash-slot count (len(Owner)); it never changes
+	// across epochs of one cluster.
+	Shards int `json:"shards"`
+	// Nodes lists the cluster members, sorted by ID.
+	Nodes []Node `json:"nodes"`
+	// Owner maps shard slot → node ID.
+	Owner []string `json:"owner"`
+}
+
+// ShardOf returns the hash slot for key under a map with shards slots.
+func ShardOf(key []byte, shards int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Shard returns the slot owning key under this map.
+func (m *ShardMap) Shard(key []byte) int { return ShardOf(key, m.Shards) }
+
+// OwnerOf returns the node ID owning key under this map.
+func (m *ShardMap) OwnerOf(key []byte) string { return m.Owner[m.Shard(key)] }
+
+// NodeByID returns the node with the given ID, or false.
+func (m *ShardMap) NodeByID(id string) (Node, bool) {
+	for _, n := range m.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// OwnedBy returns the slots assigned to node id, in ascending order.
+func (m *ShardMap) OwnedBy(id string) []int {
+	var out []int
+	for s, owner := range m.Owner {
+		if owner == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Validate checks the map's internal consistency: positive slot count,
+// owner table of matching length, unique node IDs, and every owner a
+// known node.
+func (m *ShardMap) Validate() error {
+	if m.Shards <= 0 {
+		return fmt.Errorf("cluster: map has %d shards", m.Shards)
+	}
+	if len(m.Owner) != m.Shards {
+		return fmt.Errorf("cluster: owner table has %d entries for %d shards", len(m.Owner), m.Shards)
+	}
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("cluster: map has no nodes")
+	}
+	ids := make(map[string]bool, len(m.Nodes))
+	for _, n := range m.Nodes {
+		if n.ID == "" {
+			return fmt.Errorf("cluster: node with empty ID")
+		}
+		if ids[n.ID] {
+			return fmt.Errorf("cluster: duplicate node ID %q", n.ID)
+		}
+		ids[n.ID] = true
+	}
+	for s, owner := range m.Owner {
+		if !ids[owner] {
+			return fmt.Errorf("cluster: shard %d owned by unknown node %q", s, owner)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy (safe to edit before republishing).
+func (m *ShardMap) Clone() *ShardMap {
+	c := &ShardMap{Epoch: m.Epoch, Shards: m.Shards}
+	c.Nodes = append([]Node(nil), m.Nodes...)
+	c.Owner = append([]string(nil), m.Owner...)
+	return c
+}
+
+// WithMove returns a new map at Epoch+1 with shard moved to node to.
+func (m *ShardMap) WithMove(shard int, to string) (*ShardMap, error) {
+	if shard < 0 || shard >= m.Shards {
+		return nil, fmt.Errorf("cluster: shard %d out of range [0,%d)", shard, m.Shards)
+	}
+	if _, ok := m.NodeByID(to); !ok {
+		return nil, fmt.Errorf("cluster: move to unknown node %q", to)
+	}
+	c := m.Clone()
+	c.Epoch++
+	c.Owner[shard] = to
+	return c, nil
+}
+
+// InitialMap builds the epoch-1 round-robin map over nodes with the given
+// slot count (DefaultShards when shards <= 0). Nodes are sorted by ID
+// first so every process computing the map from the same member list gets
+// the identical assignment.
+func InitialMap(nodes []Node, shards int) (*ShardMap, error) {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	sorted := append([]Node(nil), nodes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	m := &ShardMap{Epoch: 1, Shards: shards, Nodes: sorted, Owner: make([]string, shards)}
+	for s := range m.Owner {
+		m.Owner[s] = sorted[s%len(sorted)].ID
+	}
+	return m, m.Validate()
+}
+
+// ParsePeers parses the adcached -peers flag syntax
+// "id=host:port,id=host:port" into a node list.
+func ParsePeers(spec string) ([]Node, error) {
+	var nodes []Node
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=host:port)", part)
+		}
+		nodes = append(nodes, Node{ID: id, Addr: addr})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return nodes, nil
+}
+
+// MarshalJSON/UnmarshalJSON use the plain struct shape; declared only to
+// keep the wire format an explicit, documented surface (API.md).
+func (m *ShardMap) MarshalJSON() ([]byte, error) {
+	type plain ShardMap
+	return json.Marshal((*plain)(m))
+}
+
+// UnmarshalJSON parses and validates a wire-format map.
+func (m *ShardMap) UnmarshalJSON(b []byte) error {
+	type plain ShardMap
+	if err := json.Unmarshal(b, (*plain)(m)); err != nil {
+		return err
+	}
+	return m.Validate()
+}

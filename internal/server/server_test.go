@@ -7,9 +7,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"adcache"
+	"adcache/internal/api"
+	"adcache/internal/cluster"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *adcache.DB) {
@@ -18,7 +21,7 @@ func testServer(t *testing.T) (*httptest.Server, *adcache.DB) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(Handler(db))
+	srv := httptest.NewServer(New(db))
 	t.Cleanup(func() {
 		srv.Close()
 		db.Close()
@@ -42,46 +45,144 @@ func do(t *testing.T, method, url, body string) (*http.Response, string) {
 	return resp, buf.String()
 }
 
+// envelope decodes a typed error body, failing the test if it is not one.
+func envelope(t *testing.T, body string) api.Envelope {
+	t.Helper()
+	var env api.Envelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil || env.Code == "" {
+		t.Fatalf("not an error envelope: %q (err=%v)", body, err)
+	}
+	return env
+}
+
 func TestPutGetDelete(t *testing.T) {
 	srv, _ := testServer(t)
-	if resp, _ := do(t, "PUT", srv.URL+"/kv/hello", "world"); resp.StatusCode != 204 {
+	if resp, _ := do(t, "PUT", srv.URL+"/v1/kv/hello", "world"); resp.StatusCode != 204 {
 		t.Fatalf("PUT status %d", resp.StatusCode)
 	}
-	resp, body := do(t, "GET", srv.URL+"/kv/hello", "")
+	resp, body := do(t, "GET", srv.URL+"/v1/kv/hello", "")
 	if resp.StatusCode != 200 || body != "world" {
 		t.Fatalf("GET = %d %q", resp.StatusCode, body)
 	}
-	if resp, _ := do(t, "DELETE", srv.URL+"/kv/hello", ""); resp.StatusCode != 204 {
+	if resp, _ := do(t, "DELETE", srv.URL+"/v1/kv/hello", ""); resp.StatusCode != 204 {
 		t.Fatalf("DELETE status %d", resp.StatusCode)
 	}
-	if resp, _ := do(t, "GET", srv.URL+"/kv/hello", ""); resp.StatusCode != 404 {
+	if resp, _ := do(t, "GET", srv.URL+"/v1/kv/hello", ""); resp.StatusCode != 404 {
 		t.Fatalf("GET after delete = %d", resp.StatusCode)
 	}
 }
 
-func TestGetMissing(t *testing.T) {
+// TestLegacyAliases: the pre-/v1 routes delegate to /v1 for one release,
+// self-identifying as deprecated.
+func TestLegacyAliases(t *testing.T) {
 	srv, _ := testServer(t)
-	if resp, _ := do(t, "GET", srv.URL+"/kv/nope", ""); resp.StatusCode != 404 {
-		t.Fatalf("status %d", resp.StatusCode)
+	if resp, _ := do(t, "PUT", srv.URL+"/kv/hello", "world"); resp.StatusCode != 204 {
+		t.Fatalf("legacy PUT status %d", resp.StatusCode)
 	}
-	if resp, _ := do(t, "GET", srv.URL+"/kv/", ""); resp.StatusCode != 400 {
-		t.Fatalf("empty key status %d", resp.StatusCode)
+	resp, body := do(t, "GET", srv.URL+"/kv/hello", "")
+	if resp.StatusCode != 200 || body != "world" {
+		t.Fatalf("legacy GET = %d %q", resp.StatusCode, body)
 	}
-	if resp, _ := do(t, "PATCH", srv.URL+"/kv/x", ""); resp.StatusCode != 405 {
-		t.Fatalf("bad method status %d", resp.StatusCode)
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy route missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/kv/") {
+		t.Fatalf("legacy Link header %q", link)
+	}
+	// New route reads what legacy wrote and carries no Deprecation.
+	resp, body = do(t, "GET", srv.URL+"/v1/kv/hello", "")
+	if body != "world" || resp.Header.Get("Deprecation") != "" {
+		t.Fatalf("v1 GET = %q deprecation=%q", body, resp.Header.Get("Deprecation"))
+	}
+	if resp, _ := do(t, "POST", srv.URL+"/batch", `[{"op":"put","key":"b","value":"2"}]`); resp.StatusCode != 204 {
+		t.Fatalf("legacy batch status %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", srv.URL+"/scan?start=a&n=5", ""); resp.StatusCode != 200 {
+		t.Fatalf("legacy scan status %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", srv.URL+"/stats", ""); resp.StatusCode != 200 {
+		t.Fatalf("legacy stats status %d", resp.StatusCode)
+	}
+}
+
+// TestErrorEnvelope drives every client-error path and asserts the typed
+// envelope: HTTP status plus distinct machine-readable code.
+func TestErrorEnvelope(t *testing.T) {
+	srv, _ := testServer(t)
+	roDB, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roSrv := httptest.NewServer(New(roDB, WithReadOnly()))
+	t.Cleanup(func() {
+		roSrv.Close()
+		roDB.Close()
+	})
+	smallDB, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallSrv := httptest.NewServer(New(smallDB, WithMaxBodyBytes(16)))
+	t.Cleanup(func() {
+		smallSrv.Close()
+		smallDB.Close()
+	})
+
+	tests := []struct {
+		name         string
+		base         *httptest.Server
+		method, path string
+		body         string
+		wantStatus   int
+		wantCode     string
+	}{
+		{"missing key", srv, "GET", "/v1/kv/nope", "", 404, api.CodeNotFound},
+		{"empty key", srv, "GET", "/v1/kv/", "", 400, api.CodeBadKey},
+		{"bad kv method", srv, "PATCH", "/v1/kv/x", "", 405, api.CodeMethodNotAllowed},
+		{"scan bad n", srv, "GET", "/v1/scan?start=a&n=zap", "", 400, api.CodeBadLimit},
+		{"scan n zero", srv, "GET", "/v1/scan?start=a&n=0", "", 400, api.CodeBadLimit},
+		{"scan n negative", srv, "GET", "/v1/scan?start=a&n=-3", "", 400, api.CodeBadLimit},
+		{"scan n huge", srv, "GET", "/v1/scan?start=a&n=10001", "", 400, api.CodeBadLimit},
+		{"scan inverted range", srv, "GET", "/v1/scan?start=m&end=a", "", 400, api.CodeBadLimit},
+		{"scan bad method", srv, "POST", "/v1/scan", "", 405, api.CodeMethodNotAllowed},
+		{"batch bad json", srv, "POST", "/v1/batch", "{nope", 400, api.CodeBadBody},
+		{"batch unknown op", srv, "POST", "/v1/batch", `[{"op":"zap","key":"d"}]`, 400, api.CodeBadOp},
+		{"batch empty key", srv, "POST", "/v1/batch", `[{"op":"put","key":"","value":"v"}]`, 400, api.CodeBadKey},
+		{"batch bad method", srv, "GET", "/v1/batch", "", 405, api.CodeMethodNotAllowed},
+		{"read-only put", roSrv, "PUT", "/v1/kv/x", "y", 403, api.CodeReadOnly},
+		{"read-only delete", roSrv, "DELETE", "/v1/kv/x", "", 403, api.CodeReadOnly},
+		{"read-only batch", roSrv, "POST", "/v1/batch", `[{"op":"put","key":"a","value":"1"}]`, 403, api.CodeReadOnly},
+		{"oversized body", smallSrv, "PUT", "/v1/kv/big", strings.Repeat("x", 64), 413, api.CodeTooLarge},
+		{"shardmap unclustered", srv, "GET", "/v1/shardmap", "", 404, api.CodeNotFound},
+		{"migrate without header", srv, "GET", "/v1/migrate?shard=0", "", 403, api.CodeForbidden},
+		{"legacy alias envelope", srv, "GET", "/scan?start=a&n=zap", "", 400, api.CodeBadLimit},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := do(t, tc.method, tc.base.URL+tc.path, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %q)", resp.StatusCode, tc.wantStatus, body)
+			}
+			if env := envelope(t, body); env.Code != tc.wantCode {
+				t.Fatalf("code = %q, want %q", env.Code, tc.wantCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+				t.Fatalf("error content type %q", ct)
+			}
+		})
 	}
 }
 
 func TestScanEndpoint(t *testing.T) {
 	srv, _ := testServer(t)
 	for i := 0; i < 10; i++ {
-		do(t, "PUT", fmt.Sprintf("%s/kv/key%02d", srv.URL, i), fmt.Sprintf("v%d", i))
+		do(t, "PUT", fmt.Sprintf("%s/v1/kv/key%02d", srv.URL, i), fmt.Sprintf("v%d", i))
 	}
-	resp, body := do(t, "GET", srv.URL+"/scan?start=key03&n=3", "")
+	resp, body := do(t, "GET", srv.URL+"/v1/scan?start=key03&n=3", "")
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var entries []scanEntry
+	var entries []api.ScanEntry
 	if err := json.Unmarshal([]byte(body), &entries); err != nil {
 		t.Fatal(err)
 	}
@@ -89,48 +190,44 @@ func TestScanEndpoint(t *testing.T) {
 		t.Fatalf("entries = %+v", entries)
 	}
 	// Bounded variant.
-	_, body = do(t, "GET", srv.URL+"/scan?start=key03&end=key05", "")
+	_, body = do(t, "GET", srv.URL+"/v1/scan?start=key03&end=key05", "")
 	json.Unmarshal([]byte(body), &entries)
 	if len(entries) != 2 {
 		t.Fatalf("bounded entries = %+v", entries)
-	}
-	// Bad n rejected.
-	if resp, _ := do(t, "GET", srv.URL+"/scan?start=a&n=zap", ""); resp.StatusCode != 400 {
-		t.Fatalf("bad n status %d", resp.StatusCode)
 	}
 }
 
 func TestBatchEndpoint(t *testing.T) {
 	srv, _ := testServer(t)
 	ops := `[{"op":"put","key":"a","value":"1"},{"op":"put","key":"b","value":"2"},{"op":"delete","key":"a"}]`
-	if resp, body := do(t, "POST", srv.URL+"/batch", ops); resp.StatusCode != 204 {
+	if resp, body := do(t, "POST", srv.URL+"/v1/batch", ops); resp.StatusCode != 204 {
 		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
 	}
-	if resp, _ := do(t, "GET", srv.URL+"/kv/a", ""); resp.StatusCode != 404 {
+	if resp, _ := do(t, "GET", srv.URL+"/v1/kv/a", ""); resp.StatusCode != 404 {
 		t.Fatal("deleted-in-batch key visible")
 	}
-	if _, body := do(t, "GET", srv.URL+"/kv/b", ""); body != "2" {
+	if _, body := do(t, "GET", srv.URL+"/v1/kv/b", ""); body != "2" {
 		t.Fatalf("b = %q", body)
 	}
 	// Unknown op rejected atomically (nothing applied).
 	bad := `[{"op":"put","key":"c","value":"3"},{"op":"zap","key":"d"}]`
-	if resp, _ := do(t, "POST", srv.URL+"/batch", bad); resp.StatusCode != 400 {
+	if resp, _ := do(t, "POST", srv.URL+"/v1/batch", bad); resp.StatusCode != 400 {
 		t.Fatal("bad batch accepted")
 	}
-	if resp, _ := do(t, "GET", srv.URL+"/kv/c", ""); resp.StatusCode != 404 {
+	if resp, _ := do(t, "GET", srv.URL+"/v1/kv/c", ""); resp.StatusCode != 404 {
 		t.Fatal("partial batch applied")
 	}
 }
 
 func TestStatsEndpoint(t *testing.T) {
 	srv, db := testServer(t)
-	do(t, "PUT", srv.URL+"/kv/x", "y")
-	do(t, "GET", srv.URL+"/kv/x", "")
-	resp, body := do(t, "GET", srv.URL+"/stats", "")
+	do(t, "PUT", srv.URL+"/v1/kv/x", "y")
+	do(t, "GET", srv.URL+"/v1/kv/x", "")
+	resp, body := do(t, "GET", srv.URL+"/v1/stats", "")
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	// /stats serves adcache.MetricsSnapshot verbatim.
+	// /v1/stats serves adcache.MetricsSnapshot verbatim.
 	var st adcache.MetricsSnapshot
 	if err := json.Unmarshal([]byte(body), &st); err != nil {
 		t.Fatal(err)
@@ -152,8 +249,8 @@ func TestStatsEndpoint(t *testing.T) {
 
 func TestMetricsEndpoint(t *testing.T) {
 	srv, _ := testServer(t)
-	do(t, "PUT", srv.URL+"/kv/m", "1")
-	do(t, "GET", srv.URL+"/kv/m", "")
+	do(t, "PUT", srv.URL+"/v1/kv/m", "1")
+	do(t, "GET", srv.URL+"/v1/kv/m", "")
 	resp, body := do(t, "GET", srv.URL+"/metrics", "")
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d", resp.StatusCode)
@@ -173,6 +270,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"trace_write_errors_total 0",
 		`adcache_strategy_info{strategy="AdCache"} 1`,
 		`http_requests_total{route="kv"}`,
+		`http_shard_read_nanos`,
+		`http_shard_write_nanos`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -182,7 +281,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestMetricsDebugVars(t *testing.T) {
 	srv, _ := testServer(t)
-	do(t, "PUT", srv.URL+"/kv/d", "1")
+	do(t, "PUT", srv.URL+"/v1/kv/d", "1")
 	resp, body := do(t, "GET", srv.URL+"/debug/vars", "")
 	if resp.StatusCode != 200 {
 		t.Fatalf("status %d", resp.StatusCode)
@@ -206,7 +305,7 @@ func TestMetricsDebugVars(t *testing.T) {
 func TestMetricsRequestLatency(t *testing.T) {
 	srv, db := testServer(t)
 	for i := 0; i < 5; i++ {
-		do(t, "GET", srv.URL+"/kv/nope", "")
+		do(t, "GET", srv.URL+"/v1/kv/nope", "")
 	}
 	snap := db.Registry().Snapshot()
 	v, ok := snap[`http_requests_total{route="kv"}`]
@@ -218,50 +317,334 @@ func TestMetricsRequestLatency(t *testing.T) {
 	}
 }
 
-func TestReadOnly(t *testing.T) {
+// TestDeprecatedConstructors: Handler and NewHandler remain as thin
+// wrappers over New.
+func TestDeprecatedConstructors(t *testing.T) {
 	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewHandler(db, Options{ReadOnly: true}))
+	defer db.Close()
+	srv := httptest.NewServer(Handler(db))
+	defer srv.Close()
+	if resp, _ := do(t, "PUT", srv.URL+"/v1/kv/x", "y"); resp.StatusCode != 204 {
+		t.Fatalf("Handler wrapper PUT status %d", resp.StatusCode)
+	}
+	db2, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	srv2 := httptest.NewServer(NewHandler(db2, Options{ReadOnly: true}))
+	defer srv2.Close()
+	resp, body := do(t, "PUT", srv2.URL+"/v1/kv/x", "y")
+	if resp.StatusCode != 403 || envelope(t, body).Code != api.CodeReadOnly {
+		t.Fatalf("NewHandler wrapper read-only = %d %q", resp.StatusCode, body)
+	}
+}
+
+// twoNodeView builds a 4-slot map split between "self" and "other" and a
+// view for self. Returns the view and a key owned by each side.
+func twoNodeView(t *testing.T) (*cluster.NodeView, string, string) {
+	t.Helper()
+	m := &cluster.ShardMap{
+		Epoch:  3,
+		Shards: 4,
+		Nodes: []cluster.Node{
+			{ID: "other", Addr: "127.0.0.1:1"},
+			{ID: "self", Addr: "127.0.0.1:2"},
+		},
+		Owner: []string{"self", "self", "other", "other"},
+	}
+	view, err := cluster.NewNodeView("self", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mine, theirs string
+	for i := 0; mine == "" || theirs == ""; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		if s := cluster.ShardOf([]byte(k), 4); s < 2 {
+			if mine == "" {
+				mine = k
+			}
+		} else if theirs == "" {
+			theirs = k
+		}
+	}
+	return view, mine, theirs
+}
+
+func clusterServer(t *testing.T, view *cluster.NodeView) *httptest.Server {
+	t.Helper()
+	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(db, WithCluster(view)))
 	t.Cleanup(func() {
 		srv.Close()
 		db.Close()
 	})
-	for _, tc := range []struct{ method, path, body string }{
-		{"PUT", "/kv/x", "y"},
-		{"DELETE", "/kv/x", ""},
-		{"POST", "/batch", `[{"op":"put","key":"a","value":"1"}]`},
+	return srv
+}
+
+// TestWrongShard: a cluster-configured node serves its owned slots and
+// answers 421 WRONG_SHARD with routing headers for foreign keys.
+func TestWrongShard(t *testing.T) {
+	view, mine, theirs := twoNodeView(t)
+	srv := clusterServer(t, view)
+
+	if resp, _ := do(t, "PUT", srv.URL+"/v1/kv/"+mine, "v"); resp.StatusCode != 204 {
+		t.Fatalf("owned PUT status %d", resp.StatusCode)
+	}
+	resp, body := do(t, "GET", srv.URL+"/v1/kv/"+mine, "")
+	if resp.StatusCode != 200 || body != "v" {
+		t.Fatalf("owned GET = %d %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get(api.HeaderEpoch) != "3" || resp.Header.Get(api.HeaderNode) != "self" {
+		t.Fatalf("routing headers = epoch %q node %q",
+			resp.Header.Get(api.HeaderEpoch), resp.Header.Get(api.HeaderNode))
+	}
+	if resp.Header.Get(api.HeaderShard) == "" {
+		t.Fatal("shard header missing")
+	}
+
+	for _, tc := range []struct{ method, body string }{
+		{"GET", ""}, {"PUT", "v"}, {"DELETE", ""},
 	} {
-		if resp, _ := do(t, tc.method, srv.URL+tc.path, tc.body); resp.StatusCode != 403 {
-			t.Errorf("%s %s in read-only mode: status %d, want 403", tc.method, tc.path, resp.StatusCode)
+		resp, body := do(t, tc.method, srv.URL+"/v1/kv/"+theirs, tc.body)
+		if resp.StatusCode != http.StatusMisdirectedRequest {
+			t.Fatalf("%s foreign key status %d, want 421", tc.method, resp.StatusCode)
+		}
+		env := envelope(t, body)
+		if env.Code != api.CodeWrongShard || env.Epoch != 3 {
+			t.Fatalf("%s foreign key envelope %+v", tc.method, env)
 		}
 	}
-	// Reads and observability stay up.
-	if resp, _ := do(t, "GET", srv.URL+"/kv/x", ""); resp.StatusCode != 404 {
-		t.Errorf("read-only GET status %d", resp.StatusCode)
+
+	// A batch containing any foreign key is rejected whole.
+	ops := fmt.Sprintf(`[{"op":"put","key":%q,"value":"1"},{"op":"put","key":%q,"value":"2"}]`, mine, theirs)
+	resp, body = do(t, "POST", srv.URL+"/v1/batch", ops)
+	if resp.StatusCode != http.StatusMisdirectedRequest || envelope(t, body).Code != api.CodeWrongShard {
+		t.Fatalf("mixed batch = %d %q", resp.StatusCode, body)
 	}
-	for _, path := range []string{"/scan?start=a&n=2", "/stats", "/metrics", "/debug/vars"} {
-		if resp, _ := do(t, "GET", srv.URL+path, ""); resp.StatusCode != 200 {
-			t.Errorf("read-only GET %s status %d", path, resp.StatusCode)
+}
+
+// TestShardMapEndpoint: GET serves the current map; POST accepts only
+// strictly newer epochs with the same slot count.
+func TestShardMapEndpoint(t *testing.T) {
+	view, _, _ := twoNodeView(t)
+	srv := clusterServer(t, view)
+
+	resp, body := do(t, "GET", srv.URL+"/v1/shardmap", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+	var m cluster.ShardMap
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 3 || m.Shards != 4 {
+		t.Fatalf("map = %+v", m)
+	}
+
+	next, err := m.WithMove(0, "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, _ := json.Marshal(next)
+	if resp, body := do(t, "POST", srv.URL+"/v1/shardmap", string(nb)); resp.StatusCode != 204 {
+		t.Fatalf("POST newer map = %d %q", resp.StatusCode, body)
+	}
+	if view.Epoch() != 4 || view.OwnsShard(0) {
+		t.Fatalf("view not advanced: epoch %d owns0=%v", view.Epoch(), view.OwnsShard(0))
+	}
+	// Stale epoch → 409 STALE_EPOCH.
+	stale, _ := json.Marshal(&m)
+	resp, body = do(t, "POST", srv.URL+"/v1/shardmap", string(stale))
+	if resp.StatusCode != 409 || envelope(t, body).Code != api.CodeStaleEpoch {
+		t.Fatalf("stale POST = %d %q", resp.StatusCode, body)
+	}
+	// Changed slot count → 400 BAD_MAP.
+	badMap := next.Clone()
+	badMap.Epoch++
+	badMap.Shards = 8
+	badMap.Owner = append(badMap.Owner, "self", "self", "self", "self")
+	bb, _ := json.Marshal(badMap)
+	resp, body = do(t, "POST", srv.URL+"/v1/shardmap", string(bb))
+	if resp.StatusCode != 400 || envelope(t, body).Code != api.CodeBadMap {
+		t.Fatalf("bad-map POST = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestShardStats: keyed traffic lands in per-slot histograms served by
+// /v1/shardstats.
+func TestShardStats(t *testing.T) {
+	view, mine, _ := twoNodeView(t)
+	srv := clusterServer(t, view)
+	for i := 0; i < 7; i++ {
+		do(t, "GET", srv.URL+"/v1/kv/"+mine, "")
+	}
+	do(t, "PUT", srv.URL+"/v1/kv/"+mine, "v")
+
+	resp, body := do(t, "GET", srv.URL+"/v1/shardstats", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st api.ShardStats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != "self" || st.Epoch != 3 || len(st.Shards) != 4 {
+		t.Fatalf("shardstats = node %q epoch %d %d slots", st.Node, st.Epoch, len(st.Shards))
+	}
+	slot := cluster.ShardOf([]byte(mine), 4)
+	if got := st.Shards[slot].Reads.Count; got != 7 {
+		t.Fatalf("slot %d read count = %d, want 7", slot, got)
+	}
+	if got := st.Shards[slot].Writes.Count; got != 1 {
+		t.Fatalf("slot %d write count = %d, want 1", slot, got)
+	}
+}
+
+// TestMigrateEndpoints: export, bulk-load and purge one slot through the
+// internal migration surface.
+func TestMigrateEndpoints(t *testing.T) {
+	view, mine, theirs := twoNodeView(t)
+	srv := clusterServer(t, view)
+
+	internal := func(method, path, body string) (*http.Response, string) {
+		req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(api.HeaderInternal, api.InternalMigrate)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, buf.String()
+	}
+
+	do(t, "PUT", srv.URL+"/v1/kv/"+mine, "owned-value")
+	mySlot := cluster.ShardOf([]byte(mine), 4)
+	theirSlot := cluster.ShardOf([]byte(theirs), 4)
+
+	// Export the owned slot.
+	resp, body := internal("GET", fmt.Sprintf("/v1/migrate?shard=%d", mySlot), "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("export status %d: %s", resp.StatusCode, body)
+	}
+	var entries []api.MigrateEntry
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || string(entries[0].Key) != mine || string(entries[0].Value) != "owned-value" {
+		t.Fatalf("export = %+v", entries)
+	}
+
+	// Bulk-load a foreign slot (this is what the new owner receives).
+	load, _ := json.Marshal([]api.MigrateEntry{{Key: []byte(theirs), Value: []byte("migrated")}})
+	if resp, body := internal("POST", fmt.Sprintf("/v1/migrate?shard=%d", theirSlot), string(load)); resp.StatusCode != 204 {
+		t.Fatalf("bulk-load = %d %q", resp.StatusCode, body)
+	}
+	// The loaded key is invisible to scans (unowned)...
+	_, body = do(t, "GET", srv.URL+"/v1/scan?start=&n=100", "")
+	if strings.Contains(body, "migrated") {
+		t.Fatalf("unowned key visible in scan: %s", body)
+	}
+	// ...and not servable (WRONG_SHARD), but present for migration export.
+	if resp, _ := do(t, "GET", srv.URL+"/v1/kv/"+theirs, ""); resp.StatusCode != 421 {
+		t.Fatalf("unowned GET status %d", resp.StatusCode)
+	}
+
+	// Purge refuses owned slots, allows foreign ones.
+	resp, body = internal("DELETE", fmt.Sprintf("/v1/migrate?shard=%d", mySlot), "")
+	if resp.StatusCode != 409 || envelope(t, body).Code != api.CodeOwnedShard {
+		t.Fatalf("purge owned = %d %q", resp.StatusCode, body)
+	}
+	if resp, body := internal("DELETE", fmt.Sprintf("/v1/migrate?shard=%d", theirSlot), ""); resp.StatusCode != 204 {
+		t.Fatalf("purge foreign = %d %q", resp.StatusCode, body)
+	}
+	resp, body = internal("GET", fmt.Sprintf("/v1/migrate?shard=%d", theirSlot), "")
+	if body = strings.TrimSpace(body); body != "[]" && body != "null" {
+		t.Fatalf("purged slot still has entries: %s", body)
+	}
+
+	// Bad shard parameter.
+	resp, body = internal("GET", "/v1/migrate?shard=99", "")
+	if resp.StatusCode != 400 || envelope(t, body).Code != api.CodeBadShard {
+		t.Fatalf("bad shard = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestScanOwnedPagination: scans skip unowned leftovers and still fill
+// the requested page from owned keys beyond them.
+func TestScanOwnedPagination(t *testing.T) {
+	view, _, _ := twoNodeView(t)
+	srv := clusterServer(t, view)
+	// Load every key (owned or not) through the migration bypass.
+	var all []api.MigrateEntry
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		all = append(all, api.MigrateEntry{Key: []byte(k), Value: []byte("v")})
+	}
+	load, _ := json.Marshal(all)
+	req, _ := http.NewRequest("POST", srv.URL+"/v1/migrate?shard=0", strings.NewReader(string(load)))
+	req.Header.Set(api.HeaderInternal, api.InternalMigrate)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != 204 {
+		t.Fatalf("bulk load: %v %v", err, resp)
+	}
+	_, body := do(t, "GET", srv.URL+"/v1/scan?start=&n=100", "")
+	var entries []api.ScanEntry
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 || len(entries) >= 40 {
+		t.Fatalf("scan returned %d entries, want only the owned subset", len(entries))
+	}
+	for _, e := range entries {
+		if s := cluster.ShardOf([]byte(e.Key), 4); s >= 2 {
+			t.Fatalf("scan leaked unowned key %q (slot %d)", e.Key, s)
 		}
 	}
 }
 
-func TestMaxBodyBytes(t *testing.T) {
+func TestConcurrencyLimit(t *testing.T) {
 	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewHandler(db, Options{MaxBodyBytes: 16}))
+	srv := httptest.NewServer(New(db, WithConcurrencyLimit(2)))
 	t.Cleanup(func() {
 		srv.Close()
 		db.Close()
 	})
-	if resp, _ := do(t, "PUT", srv.URL+"/kv/big", strings.Repeat("x", 64)); resp.StatusCode != 400 {
-		t.Fatalf("oversized body status %d, want 400", resp.StatusCode)
+	// Requests queue rather than fail: hammer with more concurrency than
+	// the limit and expect every response to succeed.
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/v1/kv/k%d", srv.URL, i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 404 {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
 	}
-	if resp, _ := do(t, "PUT", srv.URL+"/kv/ok", "small"); resp.StatusCode != 204 {
-		t.Fatalf("small body status %d", resp.StatusCode)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
