@@ -465,8 +465,10 @@ func (c *Client) scanNode(ctx context.Context, addr string, start, end []byte, n
 
 // Batch applies ops, grouped by owning node and dispatched concurrently.
 // Each node's group is atomic on that node; cross-node batches are not
-// atomic as a whole. On WRONG_SHARD the affected group is re-routed under
-// the refreshed map and retried.
+// atomic as a whole. On WRONG_SHARD only the rejected groups are
+// re-routed under the refreshed map and retried — a group its node has
+// already acked is never re-sent, so a mixed batch is applied at most
+// once per node even across retries.
 func (c *Client) Batch(ops []Op) error {
 	return c.BatchCtx(context.Background(), ops)
 }
@@ -476,40 +478,44 @@ func (c *Client) BatchCtx(ctx context.Context, ops []Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	pending := ops
+	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries; attempt++ {
 		if attempt > 0 {
 			c.sleep(ctx, attempt)
 		}
-		groups := map[string][]api.BatchOp{}
-		for _, op := range ops {
+		groups := map[string][]Op{}
+		for _, op := range pending {
 			addr := c.route(op.Key)
-			groups[addr] = append(groups[addr], api.BatchOp{
-				Op: string(op.Kind), Key: string(op.Key), Value: string(op.Value),
-			})
+			groups[addr] = append(groups[addr], op)
 		}
-		retryable, err := c.sendGroups(ctx, groups)
-		if err == nil {
+		retry, retryErr, fatal := c.sendGroups(ctx, groups)
+		if fatal != nil {
+			return fatal
+		}
+		if len(retry) == 0 {
 			return nil
 		}
-		if !retryable {
-			return err
-		}
+		pending, lastErr = retry, retryErr
 		c.retries.Add(1)
 	}
-	return fmt.Errorf("client: batch retries exhausted")
+	return fmt.Errorf("client: batch retries exhausted (%d ops unacked): %w", len(pending), lastErr)
 }
 
-// sendGroups posts each node's group concurrently. It reports whether a
-// failure is retryable (WRONG_SHARD — the map was refreshed already).
-func (c *Client) sendGroups(ctx context.Context, groups map[string][]api.BatchOp) (retryable bool, err error) {
+// sendGroups posts each node's group concurrently. Groups rejected with
+// WRONG_SHARD come back in retry (their ops, to be re-routed under the
+// map that was already refreshed); any other failure is fatal. Acked
+// groups are consumed here and never returned.
+func (c *Client) sendGroups(ctx context.Context, groups map[string][]Op) (retry []Op, retryErr, fatal error) {
 	type result struct {
 		addr string
+		ops  []Op
 		err  error
 	}
 	results := make(chan result, len(groups))
 	for addr, group := range groups {
-		go func(addr string, group []api.BatchOp) {
-			results <- result{addr, c.postBatch(ctx, addr, group)}
+		go func(addr string, group []Op) {
+			results <- result{addr, group, c.postBatch(ctx, addr, group)}
 		}(addr, group)
 	}
 	for range groups {
@@ -522,16 +528,24 @@ func (c *Client) sendGroups(ctx context.Context, groups map[string][]api.BatchOp
 			if env.Epoch > c.Epoch() {
 				c.refreshFrom(ctx, r.addr)
 			}
-			retryable, err = true, r.err
+			retry = append(retry, r.ops...)
+			retryErr = r.err
 			continue
 		}
-		return false, r.err
+		fatal = r.err // keep draining; the channel is buffered
 	}
-	return retryable, err
+	if fatal != nil {
+		return nil, nil, fatal
+	}
+	return retry, retryErr, nil
 }
 
-func (c *Client) postBatch(ctx context.Context, addr string, group []api.BatchOp) error {
-	body, err := json.Marshal(group)
+func (c *Client) postBatch(ctx context.Context, addr string, group []Op) error {
+	wire := make([]api.BatchOp, len(group))
+	for i, op := range group {
+		wire[i] = api.BatchOp{Op: string(op.Kind), Key: string(op.Key), Value: string(op.Value)}
+	}
+	body, err := json.Marshal(wire)
 	if err != nil {
 		return err
 	}

@@ -281,6 +281,59 @@ func TestWrongShardRefresh(t *testing.T) {
 	}
 }
 
+// TestBatchRetriesOnlyFailedGroups: when one group of a mixed batch is
+// rejected with WRONG_SHARD, only that group's ops are re-routed and
+// re-sent on retry — the group another node has already acked must not
+// be applied a second time.
+func TestBatchRetriesOnlyFailedGroups(t *testing.T) {
+	addrs, views, dbs, m := twoNodeCluster(t)
+	c, err := New([]string{addrs["a"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	kA := keyForSlot(t, 0, 4) // on node a
+	kB := keyForSlot(t, 3, 4) // on node b under the client's (stale) epoch 2
+
+	// Move slot 3 b→a behind the client's back: fence b, publish a.
+	next, err := m.WithMove(3, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := views["b"].Apply(next); err != nil {
+		t.Fatal(err)
+	}
+	if err := views["a"].Apply(next); err != nil {
+		t.Fatal(err)
+	}
+
+	// The a-group acks on attempt one; the b-group bounces WRONG_SHARD,
+	// refreshes, and re-routes to a on attempt two.
+	if err := c.Batch([]Op{
+		{Kind: OpPut, Key: kA, Value: []byte("va")},
+		{Kind: OpPut, Key: kB, Value: []byte("vb")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := dbs["a"].Get(kA); !ok {
+		t.Fatal("kA missing on node a")
+	}
+	if v, ok, _ := dbs["a"].Get(kB); !ok || string(v) != "vb" {
+		t.Fatalf("kB on new owner = %q %v", v, ok)
+	}
+	if st := c.Stats(); st.WrongShardRetries == 0 {
+		t.Fatal("expected a WRONG_SHARD batch retry")
+	}
+	// The acked group was not re-sent: node a observed exactly one write
+	// on kA's slot. (A client re-sending the whole batch would re-apply
+	// kA on the retry and double this count.)
+	h := dbs["a"].Registry().Histogram(`http_shard_write_nanos{shard="0"}`, "")
+	if got := h.Snapshot().Count; got != 1 {
+		t.Fatalf("slot-0 writes on node a = %d, want exactly 1 (acked group re-sent?)", got)
+	}
+}
+
 func TestNewErrors(t *testing.T) {
 	if _, err := New(nil); err == nil {
 		t.Fatal("empty seeds accepted")

@@ -33,6 +33,8 @@ func writerSeq(t *testing.T, v string) int64 {
 // WRONG_SHARD handling absorbed inside the client.
 func TestE2EClusterMove(t *testing.T) {
 	const shards = 8
+	// Shared migration secret for nodes and manager (loopback-only test).
+	const e2eToken = "e2e-migration-token"
 
 	// Real listeners first: the shard map carries addresses, and nodes
 	// need the map before they serve.
@@ -65,7 +67,7 @@ func TestE2EClusterMove(t *testing.T) {
 			t.Fatal(err)
 		}
 		views[id] = view
-		hs := &http.Server{Handler: server.New(db, server.WithCluster(view), server.WithNodeID(id))}
+		hs := &http.Server{Handler: server.New(db, server.WithCluster(view), server.WithNodeID(id), server.WithInternalToken(e2eToken))}
 		go hs.Serve(listeners[id])
 		defer hs.Close()
 	}
@@ -138,7 +140,8 @@ func TestE2EClusterMove(t *testing.T) {
 	// protocol while writes are in flight.
 	time.Sleep(150 * time.Millisecond)
 	mgr, err := cluster.NewManager(initial, cluster.ManagerOptions{
-		Logf: t.Logf,
+		InternalToken: e2eToken,
+		Logf:          t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)

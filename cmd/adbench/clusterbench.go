@@ -102,6 +102,9 @@ func runClusterBench(nKeys, nOps int, asJSON bool, path string) error {
 		// keeping the CPU cold, and it is sized so the queueing signal
 		// dwarfs scheduler jitter even on single-core CI runners.
 		serviceTime = 20 * time.Millisecond
+		// Shared migration secret for the in-process fleet — loopback
+		// only, so a fixed value is fine here.
+		benchToken = "adbench-cluster-token"
 	)
 	hotShards := []int{0, 1, 2, 3, 4, 5}
 	if nKeys <= 0 {
@@ -157,6 +160,7 @@ func runClusterBench(nKeys, nOps int, asJSON bool, path string) error {
 		}
 		h := server.New(db,
 			server.WithCluster(view),
+			server.WithInternalToken(benchToken),
 			server.WithConcurrencyLimit(perNodeConc),
 			server.WithServiceTime(serviceTime))
 		srv := &http.Server{Handler: h}
@@ -302,6 +306,7 @@ func runClusterBench(nKeys, nOps int, asJSON bool, path string) error {
 		Cooldown:       1500 * time.Millisecond,
 		MinWindowOps:   60,
 		ImbalanceRatio: 1.6,
+		InternalToken:  benchToken,
 		Logf: func(f string, a ...any) {
 			fmt.Fprintf(os.Stderr, "  "+f+"\n", a...)
 		},

@@ -14,15 +14,17 @@
 // Cluster of three (run each in its own terminal, then point the client
 // package — or curl — at any of them):
 //
-//	adcached -node a -addr :8081 -peers a=127.0.0.1:8081,b=127.0.0.1:8082,c=127.0.0.1:8083 -dir /tmp/node-a
-//	adcached -node b -addr :8082 -peers a=127.0.0.1:8081,b=127.0.0.1:8082,c=127.0.0.1:8083 -dir /tmp/node-b
-//	adcached -node c -addr :8083 -peers a=127.0.0.1:8081,b=127.0.0.1:8082,c=127.0.0.1:8083 -dir /tmp/node-c -manage
+//	adcached -node a -addr :8081 -peers a=127.0.0.1:8081,b=127.0.0.1:8082,c=127.0.0.1:8083 -cluster-token s3cret -dir /tmp/node-a
+//	adcached -node b -addr :8082 -peers a=127.0.0.1:8081,b=127.0.0.1:8082,c=127.0.0.1:8083 -cluster-token s3cret -dir /tmp/node-b
+//	adcached -node c -addr :8083 -peers a=127.0.0.1:8081,b=127.0.0.1:8082,c=127.0.0.1:8083 -cluster-token s3cret -dir /tmp/node-c -manage
 //
 // Every member computes the identical epoch-1 round-robin shard map from
 // the sorted -peers list, so the cluster needs no bootstrap coordinator.
-// Exactly one member should run with -manage: it hosts the shard manager,
-// which polls every node's per-shard latency histograms and rebalances
-// hot shards by publishing higher map epochs.
+// -cluster-token is the shared secret authenticating shard-migration
+// traffic; it must be identical on every node. Exactly one member should
+// run with -manage: it hosts the shard manager, which polls every node's
+// per-shard latency histograms and rebalances hot shards by publishing
+// higher map epochs.
 package main
 
 import (
@@ -54,6 +56,7 @@ func main() {
 		nodeID   = flag.String("node", "", "cluster node ID (enables cluster mode with -peers)")
 		peers    = flag.String("peers", "", "cluster members as id=host:port,id=host:port")
 		shards   = flag.Int("shards", cluster.DefaultShards, "cluster hash-slot count (fixed for the cluster's lifetime)")
+		token    = flag.String("cluster-token", "", "shared secret authenticating shard-migration traffic; must match on every node (required in cluster mode)")
 		manage   = flag.Bool("manage", false, "run the shard manager in this process")
 		interval = flag.Duration("manage-interval", 2*time.Second, "shard-manager poll period")
 	)
@@ -92,6 +95,9 @@ func main() {
 		fatal(fmt.Errorf("cluster mode needs both -node and -peers"))
 	}
 	if *nodeID != "" {
+		if *token == "" {
+			fatal(fmt.Errorf("cluster mode requires -cluster-token (shared migration secret, identical on every node)"))
+		}
 		nodes, err := cluster.ParsePeers(*peers)
 		if err != nil {
 			fatal(err)
@@ -104,13 +110,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		opts = append(opts, server.WithCluster(view))
+		opts = append(opts, server.WithCluster(view), server.WithInternalToken(*token))
 		fmt.Printf("adcached: node %q in %d-node cluster, %d hash slots, owning %v\n",
 			*nodeID, len(nodes), initial.Shards, initial.OwnedBy(*nodeID))
 		if *manage {
 			mgr, err := cluster.NewManager(initial, cluster.ManagerOptions{
-				Interval: *interval,
-				Logf:     log.Printf,
+				Interval:      *interval,
+				InternalToken: *token,
+				Logf:          log.Printf,
 			})
 			if err != nil {
 				fatal(err)

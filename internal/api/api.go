@@ -19,12 +19,13 @@ const (
 	HeaderShard = "X-Adcache-Shard"
 	// HeaderNode is the responding node's ID.
 	HeaderNode = "X-Adcache-Node"
-	// HeaderInternal marks control-plane traffic (shard migration). Data
-	// requests carrying it bypass ownership checks; the shard manager is
-	// the only legitimate sender.
+	// HeaderInternal authenticates control-plane traffic (shard
+	// migration). Its value is the deployment's shared migration token
+	// (adcached -cluster-token / server.WithInternalToken), never a
+	// well-known constant: requests carrying the correct token may use
+	// /v1/migrate and bypass ownership checks, and a node with no token
+	// configured rejects all migration traffic.
 	HeaderInternal = "X-Adcache-Internal"
-	// InternalMigrate is the HeaderInternal value for migration traffic.
-	InternalMigrate = "migrate"
 )
 
 // Error codes carried in the Envelope. Clients dispatch on Code, never on
@@ -56,7 +57,8 @@ const (
 	CodeMethodNotAllowed = "METHOD_NOT_ALLOWED"
 	// CodeReadOnly: mutating request on a read-only node (HTTP 403).
 	CodeReadOnly = "READ_ONLY"
-	// CodeForbidden: a control-plane route hit without HeaderInternal (HTTP 403).
+	// CodeForbidden: a control-plane route hit without a valid
+	// HeaderInternal migration token (HTTP 403).
 	CodeForbidden = "FORBIDDEN"
 	// CodeOwnedShard: refusing to purge a shard this node still owns (HTTP 409).
 	CodeOwnedShard = "OWNED_SHARD"

@@ -40,6 +40,11 @@ type ManagerOptions struct {
 	// MigrateChunk is the number of entries per bulk-load request during a
 	// shard copy (default 1024).
 	MigrateChunk int
+	// InternalToken is the shared secret sent in api.HeaderInternal on
+	// migration requests; it must match the token every node was started
+	// with (adcached -cluster-token). Without it nodes reject the
+	// manager's migration traffic and moves fail.
+	InternalToken string
 	// Logf, when set, receives one line per decision and move.
 	Logf func(format string, args ...any)
 }
@@ -296,11 +301,20 @@ func (mg *Manager) RebalanceOnce(ctx context.Context) (bool, error) {
 //  3. publish — every other node (the new owner first) accepts the map;
 //  4. purge — the old owner deletes its now-foreign copy of the slot.
 //
-// A write acked before the fence is included in the copy; a write issued
-// during the move is never acked until the new owner both holds the map
-// and the data, so acked writes survive the move by construction. If the
-// manager dies between fence and publish the slot is unavailable (clients
-// retry WRONG_SHARD) but no data is lost — the purge runs strictly last.
+// The fence is also a drain: the old owner installs the map under its
+// flight write lock, so every mutation that passed an ownership check
+// under the old epoch has committed before the fence's 204 — and is
+// therefore in the copy. A write issued after the fence answers
+// WRONG_SHARD until the new owner holds both the map and the data, so
+// acked writes survive the move by construction. If the manager dies
+// between fence and publish the slot is unavailable (clients retry
+// WRONG_SHARD) but no data is lost — the purge runs strictly last.
+//
+// Posting the fence consumes the new epoch: the fenced node holds that
+// map, and nodes reject a same-epoch map with different contents. A
+// failure after the fence therefore rolls forward to a revert map at the
+// following epoch restoring the old owner (which still has every entry),
+// rather than leaving the slot fenced or re-minting the epoch.
 func (mg *Manager) MoveShard(ctx context.Context, shard int, to string) error {
 	mg.mu.Lock()
 	cur := mg.cur
@@ -322,14 +336,21 @@ func (mg *Manager) MoveShard(ctx context.Context, shard int, to string) error {
 		return err
 	}
 
-	// 1. Fence the old owner.
+	// 1. Fence the old owner. Until this succeeds nothing has changed
+	// fleet-wide, so a failure simply aborts the move.
 	if err := mg.postMap(ctx, from.Addr, next); err != nil {
 		return fmt.Errorf("fence %s: %w", from.ID, err)
+	}
+	// The fence consumed next.Epoch — any failure below must advance past
+	// it via a revert map, never reuse it.
+	fail := func(cause error) error {
+		mg.revertMove(ctx, next, shard, from.ID)
+		return cause
 	}
 	// 2. Copy the slot.
 	entries, err := mg.fetchShard(ctx, from.Addr, shard)
 	if err != nil {
-		return fmt.Errorf("fetch shard %d from %s: %w", shard, from.ID, err)
+		return fail(fmt.Errorf("fetch shard %d from %s: %w", shard, from.ID, err))
 	}
 	for off := 0; off < len(entries); off += mg.opts.MigrateChunk {
 		end := off + mg.opts.MigrateChunk
@@ -337,13 +358,13 @@ func (mg *Manager) MoveShard(ctx context.Context, shard int, to string) error {
 			end = len(entries)
 		}
 		if err := mg.postChunk(ctx, dest.Addr, shard, entries[off:end]); err != nil {
-			return fmt.Errorf("load shard %d into %s: %w", shard, dest.ID, err)
+			return fail(fmt.Errorf("load shard %d into %s: %w", shard, dest.ID, err))
 		}
 	}
 	// 3. Publish fleet-wide, destination first so retried client requests
 	// land on a node that already owns the slot.
 	if err := mg.postMap(ctx, dest.Addr, next); err != nil {
-		return fmt.Errorf("publish to %s: %w", dest.ID, err)
+		return fail(fmt.Errorf("publish to %s: %w", dest.ID, err))
 	}
 	for _, n := range next.Nodes {
 		if n.ID == from.ID || n.ID == dest.ID {
@@ -367,6 +388,31 @@ func (mg *Manager) MoveShard(ctx context.Context, shard int, to string) error {
 	mg.logf("cluster-manager: shard %d moved %s → %s (%d entries, epoch %d)",
 		shard, from.ID, dest.ID, len(entries), next.Epoch)
 	return nil
+}
+
+// revertMove recovers from a move that failed after its fence was
+// posted: it publishes a map at the epoch after failed (so the consumed
+// epoch is never re-minted with different contents) that restores shard
+// to owner fromID — who still holds every entry, because the purge runs
+// strictly last. Publishing is best-effort per node; stragglers converge
+// on the next publish or via response headers. The manager's own map
+// always advances, so its next move uses a fresh epoch.
+func (mg *Manager) revertMove(ctx context.Context, failed *ShardMap, shard int, fromID string) {
+	revert, err := failed.WithMove(shard, fromID)
+	if err != nil {
+		mg.logf("cluster-manager: building revert map: %v", err)
+		return
+	}
+	for _, n := range revert.Nodes {
+		if err := mg.postMap(ctx, n.Addr, revert); err != nil {
+			mg.logf("cluster-manager: revert publish to %s: %v", n.ID, err)
+		}
+	}
+	mg.mu.Lock()
+	mg.cur = revert
+	mg.mu.Unlock()
+	mg.logf("cluster-manager: move of shard %d aborted; reverted to %s at epoch %d",
+		shard, fromID, revert.Epoch)
 }
 
 func (mg *Manager) getJSON(ctx context.Context, addr, path string, out any) error {
@@ -400,7 +446,7 @@ func (mg *Manager) fetchShard(ctx context.Context, addr string, shard int) ([]ap
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set(api.HeaderInternal, api.InternalMigrate)
+	req.Header.Set(api.HeaderInternal, mg.opts.InternalToken)
 	resp, err := mg.httpc.Do(req)
 	if err != nil {
 		return nil, err
@@ -431,7 +477,7 @@ func (mg *Manager) purgeShard(ctx context.Context, addr string, shard int) error
 	if err != nil {
 		return err
 	}
-	req.Header.Set(api.HeaderInternal, api.InternalMigrate)
+	req.Header.Set(api.HeaderInternal, mg.opts.InternalToken)
 	resp, err := mg.httpc.Do(req)
 	if err != nil {
 		return err
@@ -451,7 +497,7 @@ func (mg *Manager) post(ctx context.Context, addr, path string, body []byte, int
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if internal {
-		req.Header.Set(api.HeaderInternal, api.InternalMigrate)
+		req.Header.Set(api.HeaderInternal, mg.opts.InternalToken)
 	}
 	resp, err := mg.httpc.Do(req)
 	if err != nil {

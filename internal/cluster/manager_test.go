@@ -20,11 +20,12 @@ type fakeNode struct {
 	id  string
 	srv *httptest.Server
 
-	mu    sync.Mutex
-	stats api.ShardStats
-	view  *ShardMap
-	log   *callLog
-	data  []api.MigrateEntry
+	mu         sync.Mutex
+	stats      api.ShardStats
+	view       *ShardMap
+	log        *callLog
+	data       []api.MigrateEntry
+	failExport bool
 }
 
 type callLog struct {
@@ -65,6 +66,11 @@ func newFakeNode(t *testing.T, id string, log *callLog) *fakeNode {
 			f.log.add(fmt.Sprintf("map:%s:e%d", f.id, m.Epoch))
 			w.WriteHeader(204)
 		case r.URL.Path == "/v1/migrate" && r.Method == http.MethodGet:
+			if f.failExport {
+				f.log.add("export-fail:" + f.id)
+				http.Error(w, `{"code":"INTERNAL","message":"injected export failure"}`, 500)
+				return
+			}
 			f.log.add("export:" + f.id)
 			json.NewEncoder(w).Encode(f.data)
 		case r.URL.Path == "/v1/migrate" && r.Method == http.MethodPost:
@@ -86,6 +92,12 @@ func newFakeNode(t *testing.T, id string, log *callLog) *fakeNode {
 }
 
 func (f *fakeNode) addr() string { return strings.TrimPrefix(f.srv.URL, "http://") }
+
+func (f *fakeNode) currentView() *ShardMap {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.view
+}
 
 // setStats installs cumulative per-slot histograms: slot → (ops, sumNanos).
 func (f *fakeNode) setStats(epoch uint64, shards int, load map[int][2]int64) {
@@ -176,6 +188,69 @@ func TestManagerMovesHottestShard(t *testing.T) {
 	b.setStats(1, 4, map[int][2]int64{3: {40, 20e6}})
 	if moved, _ := mgr.RebalanceOnce(ctx); moved {
 		t.Fatal("moved during cooldown")
+	}
+}
+
+// TestManagerRevertsFailedMove: a move failing after its fence has
+// consumed an epoch. The manager must not leave the slot fenced or ever
+// re-mint that epoch with different contents — it publishes a revert map
+// at the following epoch restoring the old owner, which still holds all
+// the data because the purge runs strictly last.
+func TestManagerRevertsFailedMove(t *testing.T) {
+	log := &callLog{}
+	a := newFakeNode(t, "a", log)
+	b := newFakeNode(t, "b", log)
+	a.failExport = true
+	a.data = []api.MigrateEntry{{Key: []byte("k1"), Value: []byte("v1")}}
+
+	m := &ShardMap{
+		Epoch:  1,
+		Shards: 4,
+		Nodes:  []Node{{ID: "a", Addr: a.addr()}, {ID: "b", Addr: b.addr()}},
+		Owner:  []string{"a", "a", "a", "b"},
+	}
+	a.view, b.view = m, m
+	mgr, err := NewManager(m, ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mgr.MoveShard(context.Background(), 0, "b"); err == nil {
+		t.Fatal("move with failing export reported success")
+	}
+	cur := mgr.Current()
+	if cur.Epoch != 3 || cur.Owner[0] != "a" {
+		t.Fatalf("manager map after failed move = epoch %d owner[0]=%q, want epoch 3 owned by a", cur.Epoch, cur.Owner[0])
+	}
+	// The whole fleet — including the fenced node — converged on the
+	// revert map, so the slot is servable again.
+	for _, f := range []*fakeNode{a, b} {
+		v := f.currentView()
+		if v.Epoch != 3 || v.Owner[0] != "a" {
+			t.Fatalf("node %s map = epoch %d owner[0]=%q, want revert epoch 3 owned by a", f.id, v.Epoch, v.Owner[0])
+		}
+	}
+	// Fence, failed export, then revert publishes — no purge, no load.
+	want := []string{"map:a:e2", "export-fail:a", "map:a:e3", "map:b:e3"}
+	got := log.all()
+	if len(got) != len(want) {
+		t.Fatalf("calls = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("call %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if len(a.data) != 1 {
+		t.Fatalf("old owner's data disturbed by failed move: %+v", a.data)
+	}
+	// The next move mints a fresh epoch past the revert.
+	a.failExport = false
+	if err := mgr.MoveShard(context.Background(), 0, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Current().Epoch; got != 4 {
+		t.Fatalf("epoch after retried move = %d, want 4", got)
 	}
 }
 

@@ -117,6 +117,27 @@ func (m *ShardMap) Validate() error {
 	return nil
 }
 
+// Equal reports whether two maps are identical in epoch, slot count,
+// membership, and ownership — the test that distinguishes an idempotent
+// republish from a divergent map minted twice at the same epoch.
+func (m *ShardMap) Equal(o *ShardMap) bool {
+	if m.Epoch != o.Epoch || m.Shards != o.Shards ||
+		len(m.Nodes) != len(o.Nodes) || len(m.Owner) != len(o.Owner) {
+		return false
+	}
+	for i := range m.Nodes {
+		if m.Nodes[i] != o.Nodes[i] {
+			return false
+		}
+	}
+	for i := range m.Owner {
+		if m.Owner[i] != o.Owner[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a deep copy (safe to edit before republishing).
 func (m *ShardMap) Clone() *ShardMap {
 	c := &ShardMap{Epoch: m.Epoch, Shards: m.Shards}

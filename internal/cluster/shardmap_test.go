@@ -170,6 +170,17 @@ func TestNodeViewApply(t *testing.T) {
 	if err := v.Apply(next.Clone()); err != nil {
 		t.Fatalf("same-epoch republish: %v", err)
 	}
+	// A same-epoch map with different contents is divergence, not a
+	// republish: silently ignoring it would leave the fleet split on one
+	// epoch. It must be rejected, and the view must keep its own map.
+	diverged := next.Clone()
+	diverged.Owner[1] = "c"
+	if err := v.Apply(diverged); err == nil {
+		t.Fatal("divergent same-epoch map accepted")
+	}
+	if v.Current().Owner[1] == "c" {
+		t.Fatal("divergent map installed")
+	}
 	// Stale epoch rejected.
 	if err := v.Apply(m); err == nil {
 		t.Fatal("stale map accepted")

@@ -62,7 +62,11 @@ func (v *NodeView) OwnsShard(shard int) bool {
 
 // Apply installs m as the current map. The epoch must strictly increase
 // and the slot count must match — a cluster's slot count is fixed for its
-// lifetime. Re-applying the current epoch is an idempotent no-op.
+// lifetime. Re-applying the current epoch is an idempotent no-op only if
+// the contents match; a same-epoch map with different contents is
+// rejected, because silently ignoring it would hide two maps minted at
+// one epoch (e.g. a manager reusing an epoch after a failed move) and
+// leave the fleet divergent.
 func (v *NodeView) Apply(m *ShardMap) error {
 	if err := m.Validate(); err != nil {
 		return err
@@ -70,7 +74,10 @@ func (v *NodeView) Apply(m *ShardMap) error {
 	for {
 		cur := v.cur.Load()
 		if m.Epoch == cur.Epoch {
-			return nil // idempotent republish
+			if m.Equal(cur) {
+				return nil // idempotent republish
+			}
+			return fmt.Errorf("cluster: divergent map at epoch %d (same epoch, different contents)", m.Epoch)
 		}
 		if m.Epoch < cur.Epoch {
 			return fmt.Errorf("cluster: stale map epoch %d (have %d)", m.Epoch, cur.Epoch)

@@ -47,6 +47,7 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -55,6 +56,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"adcache"
@@ -72,12 +74,13 @@ type MapApplier interface {
 
 // config is the resolved option set for one server.
 type config struct {
-	readOnly     bool
-	maxBodyBytes int64
-	nodeID       string
-	src          cluster.MapSource
-	maxInFlight  int
-	serviceTime  time.Duration
+	readOnly      bool
+	maxBodyBytes  int64
+	nodeID        string
+	src           cluster.MapSource
+	maxInFlight   int
+	serviceTime   time.Duration
+	internalToken string
 }
 
 // Option configures New.
@@ -110,6 +113,13 @@ func WithCluster(view *cluster.NodeView) Option {
 		c.src = view
 	}
 }
+
+// WithInternalToken sets the shared secret authenticating shard-manager
+// traffic: requests whose HeaderInternal value matches it may use the
+// /v1/migrate endpoints and bypass ownership checks. Without a token the
+// migration surface rejects every request — there is no well-known
+// default value.
+func WithInternalToken(tok string) Option { return func(c *config) { c.internalToken = tok } }
 
 // WithConcurrencyLimit bounds in-flight data-plane requests; excess
 // requests queue. This models a node's finite serving capacity: a node
@@ -214,6 +224,14 @@ type server struct {
 	writeHist []*metrics.Histogram
 	// sem bounds in-flight data-plane requests when non-nil.
 	sem chan struct{}
+	// flight orders mutations against shard-map changes: every data-plane
+	// mutation holds the read side from its ownership check through its
+	// engine write, and installing a new map (the shard manager's fence)
+	// takes the write side. A write therefore either commits entirely
+	// before the fence is acknowledged — and is included in the
+	// migration's copy — or starts after it and sees the new map's
+	// ownership, answering WRONG_SHARD instead of acking a doomed write.
+	flight sync.RWMutex
 }
 
 // legacy rewrites a deprecated route onto its /v1 handler.
@@ -326,9 +344,15 @@ func (s *server) deny(w http.ResponseWriter) bool {
 	return true
 }
 
-// internalOK reports whether r carries the migration control header.
-func internalOK(r *http.Request) bool {
-	return r.Header.Get(api.HeaderInternal) == api.InternalMigrate
+// internalOK reports whether r authenticates as shard-manager traffic:
+// the node must have a migration token configured and the request's
+// HeaderInternal value must match it.
+func (s *server) internalOK(r *http.Request) bool {
+	tok := s.cfg.internalToken
+	if tok == "" {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(r.Header.Get(api.HeaderInternal)), []byte(tok)) == 1
 }
 
 // shardHeaders stamps the routing headers for key on w and returns the
@@ -355,7 +379,7 @@ func (s *server) shardHeaders(w http.ResponseWriter, key []byte) int {
 // internal migration traffic), it answers 421 WRONG_SHARD carrying the
 // node's current epoch and reports false.
 func (s *server) checkOwned(w http.ResponseWriter, r *http.Request, key []byte, shard int) bool {
-	if s.cfg.src == nil || internalOK(r) {
+	if s.cfg.src == nil || s.internalOK(r) {
 		return true
 	}
 	m := s.cfg.src.Current()
@@ -430,11 +454,18 @@ func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
 		if s.deny(w) {
 			return
 		}
-		if !s.checkOwned(w, r, kb, shard) {
-			return
-		}
+		// Body first, lock second: a slow request body must not hold the
+		// flight lock open (it would let one slow client widen the fence
+		// window arbitrarily). The ownership check and the engine write
+		// share one critical section so a concurrent fence cannot slip
+		// between them and purge an acked write.
 		value, ok := s.readBody(w, r)
 		if !ok {
+			return
+		}
+		s.flight.RLock()
+		defer s.flight.RUnlock()
+		if !s.checkOwned(w, r, kb, shard) {
 			return
 		}
 		if err := s.db.Put(kb, value); err != nil {
@@ -447,6 +478,8 @@ func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
 		if s.deny(w) {
 			return
 		}
+		s.flight.RLock()
+		defer s.flight.RUnlock()
 		if !s.checkOwned(w, r, kb, shard) {
 			return
 		}
@@ -505,8 +538,9 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.cfg.src != nil {
-		m := s.cfg.src.Current()
-		w.Header().Set(api.HeaderEpoch, strconv.FormatUint(m.Epoch, 10))
+		if m := s.cfg.src.Current(); m != nil {
+			w.Header().Set(api.HeaderEpoch, strconv.FormatUint(m.Epoch, 10))
+		}
 		if s.cfg.nodeID != "" {
 			w.Header().Set(api.HeaderNode, s.cfg.nodeID)
 		}
@@ -569,6 +603,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := reqStart(r)
+	// Ownership checks and the batch apply share one flight critical
+	// section (body already read above): a concurrent fence either waits
+	// for this whole batch to commit or forces it onto the new map.
+	s.flight.RLock()
+	defer s.flight.RUnlock()
 	b := s.db.NewBatch()
 	touched := map[int]bool{}
 	for i, op := range ops {
@@ -643,7 +682,14 @@ func (s *server) handleShardMap(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, http.StatusBadRequest, api.CodeBadMap, err.Error())
 			return
 		}
-		if err := applier.Apply(&m); err != nil {
+		// Installing a map is the migration fence: take the flight write
+		// lock so every in-flight mutation that passed its ownership
+		// check under the old map commits before the new map (and the
+		// 204 that releases the shard manager to start copying) lands.
+		s.flight.Lock()
+		err := applier.Apply(&m)
+		s.flight.Unlock()
+		if err != nil {
 			if m.Epoch < s.epoch() {
 				s.writeErr(w, http.StatusConflict, api.CodeStaleEpoch, err.Error())
 			} else {
@@ -694,9 +740,9 @@ func (s *server) parseShard(w http.ResponseWriter, r *http.Request) (int, bool) 
 // bulk-load, and purge one hash slot. All verbs require the internal
 // header — this is control-plane, not client API.
 func (s *server) handleMigrate(w http.ResponseWriter, r *http.Request) {
-	if !internalOK(r) {
+	if !s.internalOK(r) {
 		s.writeErr(w, http.StatusForbidden, api.CodeForbidden,
-			"migration requires "+api.HeaderInternal)
+			"migration requires a valid "+api.HeaderInternal+" token")
 		return
 	}
 	shard, ok := s.parseShard(w, r)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -374,18 +375,26 @@ func twoNodeView(t *testing.T) (*cluster.NodeView, string, string) {
 	return view, mine, theirs
 }
 
+// testToken is the migration secret cluster test servers run with.
+const testToken = "test-migration-token"
+
 func clusterServer(t *testing.T, view *cluster.NodeView) *httptest.Server {
+	srv, _ := clusterServerDB(t, view)
+	return srv
+}
+
+func clusterServerDB(t *testing.T, view *cluster.NodeView) (*httptest.Server, *adcache.DB) {
 	t.Helper()
 	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(New(db, WithCluster(view)))
+	srv := httptest.NewServer(New(db, WithCluster(view), WithInternalToken(testToken)))
 	t.Cleanup(func() {
 		srv.Close()
 		db.Close()
 	})
-	return srv
+	return srv, db
 }
 
 // TestWrongShard: a cluster-configured node serves its owned slots and
@@ -518,7 +527,7 @@ func TestMigrateEndpoints(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		req.Header.Set(api.HeaderInternal, api.InternalMigrate)
+		req.Header.Set(api.HeaderInternal, testToken)
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)
@@ -594,7 +603,7 @@ func TestScanOwnedPagination(t *testing.T) {
 	}
 	load, _ := json.Marshal(all)
 	req, _ := http.NewRequest("POST", srv.URL+"/v1/migrate?shard=0", strings.NewReader(string(load)))
-	req.Header.Set(api.HeaderInternal, api.InternalMigrate)
+	req.Header.Set(api.HeaderInternal, testToken)
 	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != 204 {
 		t.Fatalf("bulk load: %v %v", err, resp)
 	}
@@ -610,6 +619,137 @@ func TestScanOwnedPagination(t *testing.T) {
 		if s := cluster.ShardOf([]byte(e.Key), 4); s >= 2 {
 			t.Fatalf("scan leaked unowned key %q (slot %d)", e.Key, s)
 		}
+	}
+}
+
+// TestMigrateTokenAuth: the migration surface is gated by the configured
+// shared secret, not a well-known header value — wrong tokens and
+// token-less nodes reject everything, and a bad token never bypasses
+// ownership checks on the data plane.
+func TestMigrateTokenAuth(t *testing.T) {
+	view, _, theirs := twoNodeView(t)
+	srv := clusterServer(t, view)
+
+	withHeader := func(base, method, path, value string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if value != "" {
+			req.Header.Set(api.HeaderInternal, value)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, buf.String()
+	}
+
+	// The formerly well-known constant value is just a wrong token now.
+	for _, tok := range []string{"", "migrate", testToken + "x"} {
+		resp, body := withHeader(srv.URL, "GET", "/v1/migrate?shard=0", tok)
+		if resp.StatusCode != 403 || envelope(t, body).Code != api.CodeForbidden {
+			t.Fatalf("token %q: migrate = %d %q, want 403 FORBIDDEN", tok, resp.StatusCode, body)
+		}
+	}
+	// A wrong token does not bypass ownership on the data plane.
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/kv/"+theirs, nil)
+	req.Header.Set(api.HeaderInternal, "migrate")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("foreign key with bogus token = %d, want 421", resp.StatusCode)
+	}
+
+	// A node with no token configured rejects all migration traffic —
+	// there is no default secret.
+	view2, _, _ := twoNodeView(t)
+	db, err2 := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	bare := httptest.NewServer(New(db, WithCluster(view2)))
+	t.Cleanup(func() {
+		bare.Close()
+		db.Close()
+	})
+	for _, tok := range []string{"", "migrate", testToken} {
+		resp, body := withHeader(bare.URL, "GET", "/v1/migrate?shard=0", tok)
+		if resp.StatusCode != 403 || envelope(t, body).Code != api.CodeForbidden {
+			t.Fatalf("token-less node, token %q: migrate = %d %q, want 403", tok, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestFenceWriteRace: a PUT whose ownership would have passed under the
+// old map but whose body completes after a fence must be rejected with
+// WRONG_SHARD, never acked — the exact window in which an acked write
+// would be lost to the post-move purge. The slow request body used to
+// widen this window arbitrarily; now the ownership check and the engine
+// write share a critical section that the fence drains.
+func TestFenceWriteRace(t *testing.T) {
+	view, mine, _ := twoNodeView(t)
+	srv, db := clusterServerDB(t, view)
+
+	pr, pw := io.Pipe()
+	type outcome struct {
+		status int
+		code   string
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		req, err := http.NewRequest("PUT", srv.URL+"/v1/kv/"+mine, pr)
+		if err != nil {
+			done <- outcome{0, err.Error()}
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- outcome{0, err.Error()}
+			return
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		var env api.Envelope
+		json.Unmarshal(buf.Bytes(), &env)
+		done <- outcome{resp.StatusCode, env.Code}
+	}()
+
+	// Get the request in flight with its body still open…
+	if _, err := pw.Write([]byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// …then fence the key's slot away to the other node.
+	cur := view.Current()
+	next, err := cur.WithMove(cluster.ShardOf([]byte(mine), cur.Shards), "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, _ := json.Marshal(next)
+	if resp, body := do(t, "POST", srv.URL+"/v1/shardmap", string(nb)); resp.StatusCode != 204 {
+		t.Fatalf("fence POST = %d %q", resp.StatusCode, body)
+	}
+	// Only now let the body finish. The write's ownership check runs
+	// after the full body read, under the post-fence map.
+	pw.Write([]byte("2"))
+	pw.Close()
+
+	o := <-done
+	if o.status != http.StatusMisdirectedRequest || o.code != api.CodeWrongShard {
+		t.Fatalf("post-fence PUT = %d %q, want 421 WRONG_SHARD", o.status, o.code)
+	}
+	// Nothing may have landed in the engine: an unacked write that still
+	// commits would be silently dropped by the migration's purge.
+	if _, ok, err := db.Get([]byte(mine)); err != nil || ok {
+		t.Fatalf("rejected write reached the engine (ok=%v err=%v)", ok, err)
 	}
 }
 
