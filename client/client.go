@@ -31,13 +31,13 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"adcache/internal/api"
+	"adcache/internal/api/wire"
 	"adcache/internal/cluster"
 )
 
@@ -92,6 +92,15 @@ func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } 
 // k-th retry waits k×base, capped at 20×base).
 func WithRetryBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
+// WithBinary switches the bulk data plane to the length-prefixed binary
+// framing: batches POST application/x-adcache-bin bodies and scans ask
+// for the binary entry stream via Accept. Semantics are identical to
+// the JSON default — same routing, retries, and error envelopes — minus
+// the JSON encode/decode cost, and values round-trip as raw bytes
+// (arbitrary binary survives; JSON degrades invalid UTF-8 to U+FFFD).
+// Requires servers that speak the codec; older servers answer 400.
+func WithBinary() Option { return func(c *Client) { c.binary = true } }
+
 // Client is a shard-map-caching, routing, retrying cluster client. Safe
 // for concurrent use.
 type Client struct {
@@ -99,6 +108,7 @@ type Client struct {
 	seeds      []string
 	maxRetries int
 	backoff    time.Duration
+	binary     bool
 
 	cur atomic.Pointer[cluster.ShardMap] // nil in single-node mode
 
@@ -398,41 +408,103 @@ func (c *Client) Scan(start, end []byte, n int) ([]KV, error) {
 	return c.ScanCtx(context.Background(), start, end, n)
 }
 
-// ScanCtx is Scan with a context.
+// ScanCtx is Scan with a context. The merge is incremental: every
+// node's response is decoded entry-by-entry as it streams in (JSON
+// array or binary entry stream, per WithBinary) and merge-sorted on the
+// fly, so the client holds at most one pending entry per node plus the
+// n results — never a node's full response — and cancels the underlying
+// requests as soon as n entries are merged.
 func (c *Client) ScanCtx(ctx context.Context, start, end []byte, n int) ([]KV, error) {
 	if n <= 0 {
 		n = 16
 	}
 	addrs := c.addrs()
-	type result struct {
-		kvs []KV
-		err error
-	}
-	results := make([]result, len(addrs))
+	// A child context so returning (n reached, or any stream error)
+	// aborts every stream still in flight.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	streams := make([]*scanStream, len(addrs))
+	errs := make([]error, len(addrs))
 	var wg sync.WaitGroup
 	for i, addr := range addrs {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			results[i].kvs, results[i].err = c.scanNode(ctx, addr, start, end, n)
+			streams[i], errs[i] = c.openScan(sctx, addr, start, end, n)
 		}(i, addr)
 	}
 	wg.Wait()
-	var merged []KV
-	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
+	defer func() {
+		for _, st := range streams {
+			if st != nil {
+				st.resp.Body.Close()
+			}
 		}
-		merged = append(merged, r.kvs...)
+	}()
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		if streams[i].err != nil {
+			return nil, streams[i].err
+		}
 	}
-	sort.Slice(merged, func(i, j int) bool { return bytes.Compare(merged[i].Key, merged[j].Key) < 0 })
-	if len(merged) > n {
-		merged = merged[:n]
+	// Shards partition the keyspace, so streams never carry duplicate
+	// keys: plain min-select over the stream heads yields global order.
+	out := make([]KV, 0, n)
+	for len(out) < n {
+		best := -1
+		for i, st := range streams {
+			if st.exhausted {
+				continue
+			}
+			if best == -1 || bytes.Compare(st.key, streams[best].key) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		st := streams[best]
+		out = append(out, KV{Key: st.key, Value: st.value})
+		st.advance()
+		if st.err != nil {
+			return nil, st.err
+		}
 	}
-	return merged, nil
+	return out, nil
 }
 
-func (c *Client) scanNode(ctx context.Context, addr string, start, end []byte, n int) ([]KV, error) {
+// scanStream is one node's scan response, decoded incrementally. key
+// and value hold the current (not-yet-consumed) entry, owned by the
+// stream's consumer once handed out — advance always builds fresh
+// slices.
+type scanStream struct {
+	resp      *http.Response
+	pull      func() (key, value []byte, err error) // io.EOF at clean end
+	key       []byte
+	value     []byte
+	err       error
+	exhausted bool
+}
+
+// advance loads the next entry, marking the stream exhausted at a clean
+// end and recording any decode/transport error (a truncated stream —
+// the server died mid-scan — surfaces here, never as silent shortness).
+func (s *scanStream) advance() {
+	k, v, err := s.pull()
+	if err != nil {
+		s.exhausted = true
+		if err != io.EOF {
+			s.err = err
+		}
+		return
+	}
+	s.key, s.value = k, v
+}
+
+// openScan starts one node's scan and primes its first entry.
+func (c *Client) openScan(ctx context.Context, addr string, start, end []byte, n int) (*scanStream, error) {
 	q := url.Values{}
 	q.Set("start", string(start))
 	if len(end) > 0 {
@@ -444,23 +516,70 @@ func (c *Client) scanNode(ctx context.Context, addr string, start, end []byte, n
 	if err != nil {
 		return nil, err
 	}
+	if c.binary {
+		req.Header.Set("Accept", wire.ContentType)
+	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
 		return nil, decodeEnvelope(resp)
 	}
-	var entries []api.ScanEntry
-	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
-		return nil, err
+	st := &scanStream{resp: resp}
+	if resp.Header.Get("Content-Type") == wire.ContentType {
+		// Binary entry stream: the decoder's slices are scratch reused
+		// by the next frame, so copy out before handing them upward.
+		// Copies are carved from a chunked arena — two allocations per
+		// entry would make the scan hot path GC-bound.
+		dec := &wire.StreamDecoder{}
+		dec.Reset(resp.Body)
+		var arena []byte
+		carve := func(b []byte) []byte {
+			if len(b) > len(arena) {
+				sz := 64 << 10
+				if len(b) > sz {
+					sz = len(b)
+				}
+				arena = make([]byte, sz)
+			}
+			out := arena[:len(b):len(b)]
+			arena = arena[len(b):]
+			copy(out, b)
+			return out
+		}
+		st.pull = func() ([]byte, []byte, error) {
+			k, v, err := dec.Next()
+			if err != nil {
+				return nil, nil, err
+			}
+			return carve(k), carve(v), nil
+		}
+	} else {
+		// JSON array, element-at-a-time: Token consumes the brackets,
+		// Decode one entry per pull.
+		dec := json.NewDecoder(resp.Body)
+		if _, err := dec.Token(); err != nil { // opening [
+			resp.Body.Close()
+			return nil, err
+		}
+		st.pull = func() ([]byte, []byte, error) {
+			if !dec.More() {
+				if _, err := dec.Token(); err != nil { // closing ]
+					return nil, nil, err
+				}
+				return nil, nil, io.EOF
+			}
+			var e api.ScanEntry
+			if err := dec.Decode(&e); err != nil {
+				return nil, nil, err
+			}
+			return []byte(e.Key), []byte(e.Value), nil
+		}
 	}
-	out := make([]KV, len(entries))
-	for i, e := range entries {
-		out[i] = KV{Key: []byte(e.Key), Value: []byte(e.Value)}
-	}
-	return out, nil
+	st.advance()
+	return st, nil
 }
 
 // Batch applies ops, grouped by owning node and dispatched concurrently.
@@ -541,20 +660,45 @@ func (c *Client) sendGroups(ctx context.Context, groups map[string][]Op) (retry 
 }
 
 func (c *Client) postBatch(ctx context.Context, addr string, group []Op) error {
-	wire := make([]api.BatchOp, len(group))
-	for i, op := range group {
-		wire[i] = api.BatchOp{Op: string(op.Kind), Key: string(op.Key), Value: string(op.Value)}
-	}
-	body, err := json.Marshal(wire)
-	if err != nil {
-		return err
+	var body []byte
+	contentType := "application/json"
+	if c.binary {
+		contentType = wire.ContentType
+		var buf []byte
+		bp := wire.GetBuf()
+		// The buffer is pooled; it outlives Do because bytes.Reader's
+		// GetBody (for transport retries) re-slices it, so release only
+		// after the round trip fully completes.
+		defer func() { *bp = buf; wire.PutBuf(bp) }()
+		buf = wire.AppendBatchHeader((*bp)[:0], len(group))
+		for _, op := range group {
+			switch op.Kind {
+			case OpDelete:
+				buf = wire.AppendDelete(buf, op.Key)
+			case OpPut:
+				buf = wire.AppendPut(buf, op.Key, op.Value)
+			default:
+				return fmt.Errorf("client: unknown batch op kind %q", op.Kind)
+			}
+		}
+		body = buf
+	} else {
+		jops := make([]api.BatchOp, len(group))
+		for i, op := range group {
+			jops[i] = api.BatchOp{Op: string(op.Kind), Key: string(op.Key), Value: string(op.Value)}
+		}
+		b, err := json.Marshal(jops)
+		if err != nil {
+			return err
+		}
+		body = b
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		"http://"+addr+"/v1/batch", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return err

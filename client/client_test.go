@@ -334,6 +334,97 @@ func TestBatchRetriesOnlyFailedGroups(t *testing.T) {
 	}
 }
 
+// TestBinaryClient: WithBinary changes only the encoding. Batches and
+// scans behave identically to the JSON client — same routing and
+// per-node partitioning — and raw (non-UTF-8) values survive the round
+// trip byte-exact, which JSON cannot promise.
+func TestBinaryClient(t *testing.T) {
+	addrs, _, dbs, _ := twoNodeCluster(t)
+	c, err := New([]string{addrs["a"]}, WithBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	raw := []byte{0x00, 0x01, 0xfe, 0xff, '"', '\\', '\n'}
+	var ops []Op
+	var keys [][]byte
+	for slot := 0; slot < 4; slot++ {
+		k := keyForSlot(t, slot, 4)
+		keys = append(keys, k)
+		ops = append(ops, Op{Kind: OpPut, Key: k, Value: []byte(fmt.Sprintf("v%d", slot))})
+	}
+	ops = append(ops,
+		Op{Kind: OpPut, Key: []byte("bin/raw"), Value: raw},
+		Op{Kind: OpPut, Key: []byte("bin/gone"), Value: []byte("x")},
+		Op{Kind: OpDelete, Key: []byte("bin/gone")})
+	if err := c.Batch(ops); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same partitioning as the JSON batch test: slots 0,1 on a; 2,3 on b.
+	for slot, k := range keys {
+		owner := "a"
+		if slot >= 2 {
+			owner = "b"
+		}
+		if v, ok, _ := dbs[owner].Get(k); !ok || string(v) != fmt.Sprintf("v%d", slot) {
+			t.Fatalf("slot %d on node %s = %q %v", slot, owner, v, ok)
+		}
+	}
+	if _, ok, _ := c.Get([]byte("bin/gone")); ok {
+		t.Fatal("deleted key visible")
+	}
+	if v, ok, err := c.Get([]byte("bin/raw")); err != nil || !ok || !bytes.Equal(v, raw) {
+		t.Fatalf("raw Get = %q %v %v, want %q", v, ok, err, raw)
+	}
+
+	// The binary merged scan returns global key order and exact bytes.
+	kvs, err := c.Scan([]byte("bin/"), []byte("bin0"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 1 || string(kvs[0].Key) != "bin/raw" || !bytes.Equal(kvs[0].Value, raw) {
+		t.Fatalf("binary scan = %+v, want the one raw entry", kvs)
+	}
+	all, err := c.Scan([]byte("key"), nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(keys) {
+		t.Fatalf("scan len = %d, want %d", len(all), len(keys))
+	}
+	for i := 1; i < len(all); i++ {
+		if bytes.Compare(all[i-1].Key, all[i].Key) >= 0 {
+			t.Fatal("binary merged scan out of order")
+		}
+	}
+	// Limit respected mid-merge.
+	if few, err := c.Scan([]byte("key"), nil, 2); err != nil || len(few) != 2 {
+		t.Fatalf("limited binary scan = %d %v", len(few), err)
+	}
+
+	// A JSON client over the same cluster agrees on the UTF-8-clean keys.
+	jc, err := New([]string{addrs["b"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jc.Close()
+	jall, err := jc.Scan([]byte("key"), nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jall) != len(all) {
+		t.Fatalf("JSON client scan len = %d, binary %d", len(jall), len(all))
+	}
+	for i := range all {
+		if !bytes.Equal(jall[i].Key, all[i].Key) || !bytes.Equal(jall[i].Value, all[i].Value) {
+			t.Fatalf("entry %d: json %q=%q vs binary %q=%q",
+				i, jall[i].Key, jall[i].Value, all[i].Key, all[i].Value)
+		}
+	}
+}
+
 func TestNewErrors(t *testing.T) {
 	if _, err := New(nil); err == nil {
 		t.Fatal("empty seeds accepted")

@@ -48,6 +48,17 @@
 // fleet read p99:
 //
 //	adbench -cluster -json
+//
+// With -wire, adbench benchmarks the data plane itself: a single node
+// on a real on-disk store behind real loopback HTTP, a scan-heavy mixed
+// workload through the public client, measured under the default JSON
+// framing, the binary wire codec, and the codec plus server-side write
+// coalescing. With -json it writes the three phases and the speedup to
+// -out (default BENCH_WIRE.json); it exits non-zero unless the
+// codec+coalescing configuration sustains at least 2x the JSON
+// throughput at equal-or-better read p99 with zero client errors:
+//
+//	adbench -wire -json
 package main
 
 import (
@@ -75,10 +86,23 @@ func main() {
 		compact  = flag.Bool("compaction", false, "run the compaction benchmark (serial vs parallel subcompactions)")
 		disk     = flag.Bool("disk", false, "run the on-disk persistence benchmark (none vs flate block compression on OSFS)")
 		clusterB = flag.Bool("cluster", false, "run the 3-node cluster benchmark (fleet p99 before/after a latency-driven rebalance)")
-		asJSON   = flag.Bool("json", false, "with -readpath, -compaction, -disk or -cluster, write results as JSON")
-		out      = flag.String("out", "", "with -json, output file (default BENCH_READPATH.json / BENCH_COMPACTION.json / BENCH_DISK.json / BENCH_CLUSTER.json)")
+		wireB    = flag.Bool("wire", false, "run the data-plane benchmark (JSON vs binary codec vs codec+write-coalescing over real HTTP)")
+		asJSON   = flag.Bool("json", false, "with -readpath, -compaction, -disk, -cluster or -wire, write results as JSON")
+		out      = flag.String("out", "", "with -json, output file (default BENCH_READPATH.json / BENCH_COMPACTION.json / BENCH_DISK.json / BENCH_CLUSTER.json / BENCH_WIRE.json)")
 	)
 	flag.Parse()
+
+	if *wireB {
+		path := *out
+		if path == "" {
+			path = "BENCH_WIRE.json"
+		}
+		if err := runWireBench(*keys, *ops, *asJSON, path); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *clusterB {
 		path := *out

@@ -1,0 +1,352 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adcache"
+	"adcache/client"
+	"adcache/internal/lsm"
+	"adcache/internal/metrics"
+	"adcache/internal/server"
+	"adcache/internal/vfs"
+)
+
+// The wire benchmark measures the data plane itself: one node on a real
+// on-disk store (OSFS, real fsyncs, no simulated service time), a
+// scan-heavy mixed workload driven through the public client over real
+// loopback HTTP, and three configurations of the same server:
+//
+//	json          the default JSON framing, per-request commits
+//	bin           the binary wire codec (WithBinary client)
+//	bin+coalesce  the codec plus server-side write coalescing
+//
+// The workload is deliberately scan-heavy (50% scans of 64 entries at
+// ~512B values) because bulk entry transfer is where the JSON encode/
+// escape/decode tax is paid per byte; gets and single puts carry raw
+// bodies either way and measure the fixed per-request overhead, and
+// batches exercise the body codec. The committed BENCH_WIRE.json is the
+// artifact; the run fails if the codec+coalescing configuration does
+// not sustain at least 2x the JSON throughput at equal-or-better read
+// p99, or if any configuration surfaces a single client-visible error.
+
+// wirePhase is one configuration's measured window.
+type wirePhase struct {
+	Ops            int64   `json:"ops"`
+	Seconds        float64 `json:"seconds"`
+	QPS            float64 `json:"qps"`
+	ReadP50Ms      float64 `json:"read_p50_ms"`
+	ReadP99Ms      float64 `json:"read_p99_ms"`
+	WriteP99Ms     float64 `json:"write_p99_ms"`
+	EntriesScanned int64   `json:"entries_scanned"`
+	Errors         int64   `json:"errors"`
+}
+
+// wireConfig names one measured server/client configuration.
+type wireConfig struct {
+	Name     string    `json:"name"`
+	Binary   bool      `json:"binary"`
+	Coalesce bool      `json:"coalesce"`
+	Phase    wirePhase `json:"phase"`
+}
+
+// wireBenchOut is the committed BENCH_WIRE.json artifact.
+type wireBenchOut struct {
+	Keys      int     `json:"keys"`
+	ValueSize int     `json:"value_size"`
+	Workers   int     `json:"workers"`
+	Ops       int     `json:"ops_per_config"`
+	ScanN     int     `json:"scan_n"`
+	BatchN    int     `json:"batch_n"`
+	MixScan   float64 `json:"mix_scan"`
+	MixGet    float64 `json:"mix_get"`
+	MixPut    float64 `json:"mix_put"`
+	MixBatch  float64 `json:"mix_batch"`
+
+	Configs []wireConfig `json:"configs"`
+
+	SpeedupQPS    float64 `json:"speedup_qps_bin_coalesce_vs_json"`
+	ReadP99Ratio  float64 `json:"read_p99_ratio_bin_coalesce_vs_json"`
+	BinSpeedupQPS float64 `json:"speedup_qps_bin_vs_json"`
+}
+
+func runWireBench(nKeys, nOps int, asJSON bool, path string) error {
+	const (
+		workers    = 16
+		valueSize  = 512
+		scanN      = 64
+		batchN     = 8
+		mixScan    = 0.50
+		mixGet     = 0.20
+		mixPut     = 0.10 // remainder (0.20) is batch
+		coalWin    = 200 * time.Microsecond
+		coalOps    = 128
+		wireRounds = 3
+	)
+	if nKeys <= 0 {
+		nKeys = 20_000
+	}
+	if nOps <= 0 {
+		nOps = 8_000
+	}
+
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("user%08d", i)) }
+
+	// setup stands up one fresh on-disk node (store + server + client),
+	// preloads the key space, and returns the pieces plus a teardown.
+	type wireNode struct {
+		db *adcache.DB
+		cl *client.Client
+	}
+	setup := func(binary, coalesce bool) (*wireNode, func(), error) {
+		dir, err := os.MkdirTemp("", "adbench-wire-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanup := []func(){func() { os.RemoveAll(dir) }}
+		teardown := func() {
+			for i := len(cleanup) - 1; i >= 0; i-- {
+				cleanup[i]()
+			}
+		}
+		// A memtable big enough to hold the whole run's writes: every
+		// write still pays the real WAL append + fsync (that is the cost
+		// coalescing amortizes), but no measured window randomly absorbs
+		// a flush or compaction — on a single-core runner that background
+		// work is pure cross-configuration noise.
+		lsmOpts := lsm.DefaultOptions(dir)
+		lsmOpts.MemTableSize = 256 << 20
+		// The plain block-LRU strategy: the bench compares wire/commit
+		// configurations, and the adaptive strategy's online tuning both
+		// costs CPU and varies run to run — a fixed strategy keeps the
+		// cache layer identical and deterministic across configurations.
+		db, err := adcache.Open(adcache.Options{
+			Dir:        dir,
+			FS:         vfs.NewOS(),
+			CacheBytes: 64 << 20,
+			Strategy:   adcache.StrategyBlock,
+			LSM:        &lsmOpts,
+		})
+		if err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		cleanup = append(cleanup, func() { db.Close() })
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		opts := []server.Option{}
+		if coalesce {
+			opts = append(opts, server.WithWriteCoalescing(coalWin, coalOps))
+		}
+		srv := &http.Server{Handler: server.New(db, opts...)}
+		go srv.Serve(ln)
+		cleanup = append(cleanup, func() { srv.Close() })
+
+		copts := []client.Option{}
+		if binary {
+			copts = append(copts, client.WithBinary())
+		}
+		cl, err := client.New([]string{ln.Addr().String()}, copts...)
+		if err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		cleanup = append(cleanup, cl.Close)
+
+		// Preload the whole key space so gets and scans hit real data,
+		// then flush so no measured window absorbs the preload's pending
+		// memtable work at an arbitrary point.
+		for off := 0; off < nKeys; off += 256 {
+			end := off + 256
+			if end > nKeys {
+				end = nKeys
+			}
+			ops := make([]client.Op, 0, end-off)
+			for i := off; i < end; i++ {
+				ops = append(ops, client.Op{Kind: client.OpPut, Key: key(i), Value: val})
+			}
+			if err := cl.Batch(ops); err != nil {
+				teardown()
+				return nil, nil, err
+			}
+		}
+		if err := db.Flush(); err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		return &wireNode{db: db, cl: cl}, teardown, nil
+	}
+
+	// window drives ops mixed ops through cl; measured windows record
+	// latencies, warmup windows discard them.
+	window := func(cl *client.Client, ops int, readH, writeH *metrics.Histogram, scanned, errs *atomic.Int64) time.Duration {
+		var done atomic.Int64
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for done.Add(1) <= int64(ops) {
+					roll := rng.Float64()
+					op0 := time.Now()
+					switch {
+					case roll < mixScan:
+						kvs, err := cl.Scan(key(rng.Intn(nKeys)), nil, scanN)
+						readH.ObserveSince(op0)
+						scanned.Add(int64(len(kvs)))
+						if err != nil {
+							errs.Add(1)
+						}
+					case roll < mixScan+mixGet:
+						_, _, err := cl.Get(key(rng.Intn(nKeys)))
+						readH.ObserveSince(op0)
+						if err != nil {
+							errs.Add(1)
+						}
+					case roll < mixScan+mixGet+mixPut:
+						err := cl.Put(key(rng.Intn(nKeys)), val)
+						writeH.ObserveSince(op0)
+						if err != nil {
+							errs.Add(1)
+						}
+					default:
+						ops := make([]client.Op, batchN)
+						for i := range ops {
+							ops[i] = client.Op{Kind: client.OpPut, Key: key(rng.Intn(nKeys)), Value: val}
+						}
+						err := cl.Batch(ops)
+						writeH.ObserveSince(op0)
+						if err != nil {
+							errs.Add(1)
+						}
+					}
+				}
+			}(int64(w) + 1)
+		}
+		wg.Wait()
+		return time.Since(t0)
+	}
+
+	fmt.Printf("wire bench: 1 node on OSFS, %d keys × %dB, %d workers, %d ops × %d rounds/config (scan%.0f%%·n%d get%.0f%% put%.0f%% batch%.0f%%·%d)\n",
+		nKeys, valueSize, workers, nOps, wireRounds, mixScan*100, scanN, mixGet*100, mixPut*100,
+		(1-mixScan-mixGet-mixPut)*100, batchN)
+
+	configs := []wireConfig{
+		{Name: "json"},
+		{Name: "bin", Binary: true},
+		{Name: "bin+coalesce", Binary: true, Coalesce: true},
+	}
+
+	// Every measured window gets a fresh node: set up, warm up, measure
+	// once, tear down. Reusing a node across windows is not fair — the
+	// oversized memtable accumulates one stale version per overwrite, so
+	// scans slow down a few percent every window a node survives — and a
+	// node kept alive while another is measured taxes it with background
+	// CPU on a single-core runner. Rounds are round-major
+	// (json, bin, bin+coalesce, repeat) so a multi-second noise burst
+	// (CPU steal, disk stall) lands across configurations instead of
+	// inside one configuration's whole set. Noise is strictly additive,
+	// so each configuration keeps its fastest window as the estimate of
+	// sustainable throughput. Errors from every window count — the
+	// zero-error gate has no retry.
+	for round := 0; round < wireRounds; round++ {
+		for i := range configs {
+			c := &configs[i]
+			node, teardown, err := setup(c.Binary, c.Coalesce)
+			if err != nil {
+				return fmt.Errorf("wire bench %s: %w", c.Name, err)
+			}
+			// Warmup: connections dialed, caches touched, pools primed.
+			var wscanned, werrs atomic.Int64
+			window(node.cl, nOps/4, &metrics.Histogram{}, &metrics.Histogram{}, &wscanned, &werrs)
+			readH, writeH := &metrics.Histogram{}, &metrics.Histogram{}
+			var scanned, errs atomic.Int64
+			elapsed := window(node.cl, nOps, readH, writeH, &scanned, &errs)
+			teardown()
+			r, wr := readH.Snapshot(), writeH.Snapshot()
+			p := wirePhase{
+				Ops:            r.Count + wr.Count,
+				Seconds:        elapsed.Seconds(),
+				QPS:            float64(r.Count+wr.Count) / elapsed.Seconds(),
+				ReadP50Ms:      r.Quantile(0.50) / 1e6,
+				ReadP99Ms:      r.Quantile(0.99) / 1e6,
+				WriteP99Ms:     wr.Quantile(0.99) / 1e6,
+				EntriesScanned: scanned.Load(),
+				Errors:         errs.Load() + werrs.Load(),
+			}
+			fmt.Printf("  round %d %-12s qps=%6.0f read p50=%.2fms p99=%.2fms errors=%d\n",
+				round+1, c.Name, p.QPS, p.ReadP50Ms, p.ReadP99Ms, p.Errors)
+			errors := c.Phase.Errors + p.Errors
+			if p.QPS > c.Phase.QPS {
+				c.Phase = p
+			}
+			c.Phase.Errors = errors
+		}
+	}
+	for _, c := range configs {
+		fmt.Printf("  %-12s best qps=%6.0f read p50=%.2fms p99=%.2fms write p99=%.2fms scanned=%d errors=%d\n",
+			c.Name, c.Phase.QPS, c.Phase.ReadP50Ms, c.Phase.ReadP99Ms, c.Phase.WriteP99Ms,
+			c.Phase.EntriesScanned, c.Phase.Errors)
+	}
+
+	jsonP, binP, bcP := configs[0].Phase, configs[1].Phase, configs[2].Phase
+	speedup := bcP.QPS / jsonP.QPS
+	p99Ratio := 0.0
+	if jsonP.ReadP99Ms > 0 {
+		p99Ratio = bcP.ReadP99Ms / jsonP.ReadP99Ms
+	}
+	fmt.Printf("  bin+coalesce vs json: %.2fx qps, read p99 %.2fms vs %.2fms (%.2fx)\n",
+		speedup, bcP.ReadP99Ms, jsonP.ReadP99Ms, p99Ratio)
+
+	if n := jsonP.Errors + binP.Errors + bcP.Errors; n > 0 {
+		return fmt.Errorf("wire bench: %d client-visible errors", n)
+	}
+	if speedup < 2.0 {
+		return fmt.Errorf("wire bench: bin+coalesce %.0f qps is only %.2fx json's %.0f qps (want >= 2x)",
+			bcP.QPS, speedup, jsonP.QPS)
+	}
+	if bcP.ReadP99Ms > jsonP.ReadP99Ms {
+		return fmt.Errorf("wire bench: bin+coalesce read p99 %.2fms worse than json %.2fms",
+			bcP.ReadP99Ms, jsonP.ReadP99Ms)
+	}
+
+	if asJSON {
+		out := wireBenchOut{
+			Keys: nKeys, ValueSize: valueSize, Workers: workers, Ops: nOps,
+			ScanN: scanN, BatchN: batchN,
+			MixScan: mixScan, MixGet: mixGet, MixPut: mixPut,
+			MixBatch:      1 - mixScan - mixGet - mixPut,
+			Configs:       configs,
+			SpeedupQPS:    speedup,
+			ReadP99Ratio:  p99Ratio,
+			BinSpeedupQPS: binP.QPS / jsonP.QPS,
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+	return nil
+}

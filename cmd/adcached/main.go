@@ -34,6 +34,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"adcache"
@@ -52,6 +53,14 @@ func main() {
 		readonly = flag.Bool("readonly", false, "reject writes; serve reads and observability only")
 		maxBody  = flag.Int64("maxbody", 0, "request body size cap in bytes (default 64 MiB)")
 		maxReqs  = flag.Int("maxinflight", 0, "bound on concurrent data-plane requests (0 = unlimited)")
+
+		coalesce   = flag.Bool("coalesce", false, "coalesce concurrent writes (singles and batches) into grouped commits")
+		coalWindow = flag.Duration("coalesce-window", 100*time.Microsecond, "max extra latency a write waits to join a group (0 = group only already-queued writes)")
+		coalOps    = flag.Int("coalesce-ops", 128, "max ops per coalesced group")
+
+		pprofOn   = flag.Bool("pprof", false, "serve profiling endpoints under /debug/pprof/")
+		mutexFrac = flag.Int("mutexprofilefraction", 0, "runtime.SetMutexProfileFraction for /debug/pprof/mutex (0 = off)")
+		blockRate = flag.Int("blockprofilerate", 0, "runtime.SetBlockProfileRate for /debug/pprof/block (0 = off)")
 
 		nodeID   = flag.String("node", "", "cluster node ID (enables cluster mode with -peers)")
 		peers    = flag.String("peers", "", "cluster members as id=host:port,id=host:port")
@@ -89,6 +98,18 @@ func main() {
 	}
 	if *maxReqs > 0 {
 		opts = append(opts, server.WithConcurrencyLimit(*maxReqs))
+	}
+	if *coalesce {
+		opts = append(opts, server.WithWriteCoalescing(*coalWindow, *coalOps))
+	}
+	if *pprofOn {
+		opts = append(opts, server.WithPprof())
+	}
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
 	}
 
 	if (*nodeID == "") != (*peers == "") {

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzBatchDecoder: arbitrary bytes through the batch decoder must never
+// panic, over-read, or loop forever, and anything that decodes cleanly
+// must re-encode to a batch that decodes to the same op sequence
+// (semantic round-trip; byte identity does not hold because varints
+// tolerate non-minimal encodings on input).
+func FuzzBatchDecoder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{Version, 0})
+	f.Add(AppendPut(AppendBatchHeader(nil, 1), []byte("key"), []byte("value")))
+	f.Add(AppendDelete(AppendBatchHeader(nil, 1), []byte{0x00, 0xff}))
+	two := AppendBatchHeader(nil, 2)
+	two = AppendPut(two, []byte("a"), bytes.Repeat([]byte{0x7f}, 300))
+	two = AppendDelete(two, []byte("b"))
+	f.Add(two)
+	f.Add([]byte{Version, 255, 255, 255, 255, 255, 255, 255, 255, 255, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type op struct {
+			kind       byte
+			key, value []byte
+		}
+		decode := func(body []byte) ([]op, bool) {
+			var d BatchDecoder
+			if err := d.Init(body); err != nil {
+				return nil, false
+			}
+			var ops []op
+			for {
+				kind, key, value, err := d.Next()
+				if err == io.EOF {
+					return ops, true
+				}
+				if err != nil {
+					return nil, false
+				}
+				if len(ops) > len(body) {
+					t.Fatalf("decoded more ops than input bytes")
+				}
+				if kind != OpPut && kind != OpDelete {
+					t.Fatalf("decoder returned unknown kind %#x without error", kind)
+				}
+				ops = append(ops, op{kind, append([]byte(nil), key...), append([]byte(nil), value...)})
+			}
+		}
+		ops, ok := decode(data)
+		if !ok {
+			return
+		}
+		reenc := AppendBatchHeader(nil, len(ops))
+		for _, o := range ops {
+			if o.kind == OpPut {
+				reenc = AppendPut(reenc, o.key, o.value)
+			} else {
+				reenc = AppendDelete(reenc, o.key)
+			}
+		}
+		ops2, ok := decode(reenc)
+		if !ok || len(ops2) != len(ops) {
+			t.Fatalf("re-encoded batch decodes to %d ops (ok=%v), want %d", len(ops2), ok, len(ops))
+		}
+		for i := range ops {
+			if ops[i].kind != ops2[i].kind || !bytes.Equal(ops[i].key, ops2[i].key) || !bytes.Equal(ops[i].value, ops2[i].value) {
+				t.Fatalf("op %d diverges after round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzStreamDecoder: arbitrary bytes through the incremental stream
+// decoder must never panic and must either error or terminate at an end
+// frame; complete streams must survive a semantic re-encode/decode round
+// trip.
+func FuzzStreamDecoder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendStreamEnd(AppendStreamHeader(nil)))
+	one := AppendStreamHeader(nil)
+	one = AppendEntry(one, []byte("key"), []byte("value"))
+	f.Add(AppendStreamEnd(one))
+	f.Add(AppendEntry(AppendStreamHeader(nil), []byte{0x00}, nil)) // truncated
+	f.Add([]byte{Version, tagEntry, 255, 255, 255, 255, 255, 255, 255, 255, 255, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type kv struct{ k, v []byte }
+		decode := func(stream []byte) ([]kv, bool) {
+			var d StreamDecoder
+			d.Reset(bytes.NewReader(stream))
+			var entries []kv
+			for {
+				key, value, err := d.Next()
+				if err == io.EOF {
+					return entries, true
+				}
+				if err != nil {
+					return nil, false
+				}
+				if len(entries) > len(stream) {
+					t.Fatalf("decoded more entries than input bytes")
+				}
+				entries = append(entries, kv{append([]byte(nil), key...), append([]byte(nil), value...)})
+			}
+		}
+		entries, ok := decode(data)
+		if !ok {
+			return
+		}
+		reenc := AppendStreamHeader(nil)
+		for _, e := range entries {
+			reenc = AppendEntry(reenc, e.k, e.v)
+		}
+		reenc = AppendStreamEnd(reenc)
+		entries2, ok := decode(reenc)
+		if !ok || len(entries2) != len(entries) {
+			t.Fatalf("re-encoded stream decodes to %d entries (ok=%v), want %d", len(entries2), ok, len(entries))
+		}
+		for i := range entries {
+			if !bytes.Equal(entries[i].k, entries2[i].k) || !bytes.Equal(entries[i].v, entries2[i].v) {
+				t.Fatalf("entry %d diverges after round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestBatchRoundTrip: encode a mixed batch, decode it back identically,
+// including empty values and binary-unsafe bytes JSON could not carry.
+func TestBatchRoundTrip(t *testing.T) {
+	type op struct {
+		kind       byte
+		key, value []byte
+	}
+	ops := []op{
+		{OpPut, []byte("k1"), []byte("v1")},
+		{OpDelete, []byte("k2"), nil},
+		{OpPut, []byte{0x00, 0xff, '"', '\\'}, []byte{0xfe, 0x00}},
+		{OpPut, []byte("empty-value"), []byte{}},
+		{OpPut, bytes.Repeat([]byte("K"), 300), bytes.Repeat([]byte{0x7f}, 5000)},
+	}
+	buf := AppendBatchHeader(nil, len(ops))
+	for _, o := range ops {
+		if o.kind == OpPut {
+			buf = AppendPut(buf, o.key, o.value)
+		} else {
+			buf = AppendDelete(buf, o.key)
+		}
+	}
+
+	var d BatchDecoder
+	if err := d.Init(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != len(ops) {
+		t.Fatalf("Remaining = %d, want %d", d.Remaining(), len(ops))
+	}
+	for i, want := range ops {
+		kind, key, value, err := d.Next()
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if kind != want.kind || !bytes.Equal(key, want.key) {
+			t.Fatalf("op %d: kind=%#x key=%q", i, kind, key)
+		}
+		if want.kind == OpPut && !bytes.Equal(value, want.value) {
+			t.Fatalf("op %d: value %q != %q", i, value, want.value)
+		}
+	}
+	if _, _, _, err := d.Next(); err != io.EOF {
+		t.Fatalf("after last op: %v, want io.EOF", err)
+	}
+}
+
+// TestStreamRoundTrip: entries written through the stream framing come
+// back in order through the incremental decoder, ending in io.EOF.
+func TestStreamRoundTrip(t *testing.T) {
+	type kv struct{ k, v []byte }
+	entries := []kv{
+		{[]byte("a"), []byte("1")},
+		{[]byte{0x00, 0x01}, bytes.Repeat([]byte{0xab}, 100_000)},
+		{[]byte("z"), nil},
+	}
+	buf := AppendStreamHeader(nil)
+	for _, e := range entries {
+		buf = AppendEntry(buf, e.k, e.v)
+	}
+	buf = AppendStreamEnd(buf)
+
+	var d StreamDecoder
+	d.Reset(bytes.NewReader(buf))
+	for i, want := range entries {
+		k, v, err := d.Next()
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if !bytes.Equal(k, want.k) || !bytes.Equal(v, want.v) {
+			t.Fatalf("entry %d: %q=%q", i, k, v)
+		}
+	}
+	if _, _, err := d.Next(); err != io.EOF {
+		t.Fatalf("after end frame: %v, want io.EOF", err)
+	}
+}
+
+// TestStreamTruncation: a stream cut anywhere before its end frame must
+// surface ErrTruncated, never a silent short result.
+func TestStreamTruncation(t *testing.T) {
+	buf := AppendStreamHeader(nil)
+	buf = AppendEntry(buf, []byte("key"), []byte("value"))
+	buf = AppendEntry(buf, []byte("key2"), []byte("value2"))
+	buf = AppendStreamEnd(buf)
+	for cut := 0; cut < len(buf); cut++ {
+		var d StreamDecoder
+		d.Reset(bytes.NewReader(buf[:cut]))
+		var err error
+		for err == nil {
+			_, _, err = d.Next()
+		}
+		if err == io.EOF {
+			t.Fatalf("cut at %d decoded as complete", cut)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("cut at %d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+// TestBatchDecoderRejects: malformed batch bodies fail with typed errors
+// instead of panicking or over-reading.
+func TestBatchDecoderRejects(t *testing.T) {
+	valid := AppendPut(AppendBatchHeader(nil, 1), []byte("k"), []byte("v"))
+	huge := binary.AppendUvarint([]byte{Version, 1, OpPut}, MaxEntryBytes+1)
+	cases := []struct {
+		name string
+		body []byte
+		want error
+	}{
+		{"empty", nil, ErrCorrupt},
+		{"bad version", []byte{9, 1}, ErrVersion},
+		{"count past body", []byte{Version, 200, 1}, ErrCorrupt},
+		{"unknown kind", []byte{Version, 1, 0x7f, 0}, ErrCorrupt},
+		{"length past end", []byte{Version, 1, OpPut, 50, 'k'}, ErrCorrupt},
+		{"missing ops", []byte{Version, 2, OpDelete, 1, 'k'}, ErrCorrupt},
+		{"trailing bytes", append(append([]byte{}, valid...), 0xee), ErrCorrupt},
+		{"oversized field", huge, ErrTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d BatchDecoder
+			err := d.Init(tc.body)
+			for err == nil {
+				var e error
+				if _, _, _, e = d.Next(); e == io.EOF {
+					t.Fatalf("decoded cleanly")
+				}
+				err = e
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBufPool: pooled buffers come back empty and giant buffers are not
+// retained.
+func TestBufPool(t *testing.T) {
+	b := GetBuf()
+	*b = append(*b, "junk"...)
+	PutBuf(b)
+	b2 := GetBuf()
+	if len(*b2) != 0 {
+		t.Fatalf("pooled buffer not reset: len %d", len(*b2))
+	}
+	PutBuf(b2)
+	big := make([]byte, 0, keepBufBytes*2)
+	PutBuf(&big) // must not panic; silently dropped
+}

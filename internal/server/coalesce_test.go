@@ -1,0 +1,382 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"adcache"
+	"adcache/internal/api"
+	"adcache/internal/cluster"
+)
+
+// send issues one request without touching testing.T — safe from
+// goroutines (t.Fatal must not be called off the test goroutine).
+func send(method, url, body string) (int, string, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, buf.String(), nil
+}
+
+// coalServer builds a plain coalescing server.
+func coalServer(t *testing.T) (*httptest.Server, *adcache.DB) {
+	t.Helper()
+	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(db, WithWriteCoalescing(200*time.Microsecond, 64)))
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return srv, db
+}
+
+// coalClusterServerDB is clusterServerDB with write coalescing on.
+func coalClusterServerDB(t *testing.T, view *cluster.NodeView) (*httptest.Server, *adcache.DB) {
+	t.Helper()
+	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(db,
+		WithCluster(view), WithInternalToken(testToken),
+		WithWriteCoalescing(200*time.Microsecond, 64)))
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return srv, db
+}
+
+// TestCoalescedWrites: concurrent single-op puts and deletes through the
+// coalescer all land (and are individually acked), and the coalescer
+// actually grouped them — fewer groups than ops.
+func TestCoalescedWrites(t *testing.T) {
+	srv, db := coalServer(t)
+	const n = 64
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body, err := send("PUT", fmt.Sprintf("%s/v1/kv/coal%03d", srv.URL, i), fmt.Sprintf("v%03d", i))
+			if err != nil {
+				errs <- err
+			} else if status != 204 {
+				errs <- fmt.Errorf("put %d = %d %q", i, status, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := db.Get([]byte(fmt.Sprintf("coal%03d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("key %d: %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+
+	// Deletes ride the same path.
+	var wg2 sync.WaitGroup
+	for i := 0; i < n; i += 2 {
+		wg2.Add(1)
+		go func(i int) {
+			defer wg2.Done()
+			send("DELETE", fmt.Sprintf("%s/v1/kv/coal%03d", srv.URL, i), "")
+		}(i)
+	}
+	wg2.Wait()
+	for i := 0; i < n; i++ {
+		_, ok, _ := db.Get([]byte(fmt.Sprintf("coal%03d", i)))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("after delete: key %d present=%v want %v", i, ok, want)
+		}
+	}
+
+	reg := db.Registry()
+	groups := reg.Counter("http_coalesce_groups_total", "").Value()
+	ops := reg.Counter("http_coalesced_ops_total", "").Value()
+	if ops != n+n/2 {
+		t.Fatalf("coalesced ops = %d, want %d", ops, n+n/2)
+	}
+	if groups <= 0 || groups > ops {
+		t.Fatalf("groups = %d (ops %d)", groups, ops)
+	}
+	t.Logf("coalesced %d ops into %d groups", ops, groups)
+}
+
+// TestCoalescedBatch: batch bodies ride the coalescer too — concurrent
+// /v1/batch posts all land atomically and are grouped with one another
+// (and with singles) into shared applies.
+func TestCoalescedBatch(t *testing.T) {
+	srv, db := coalServer(t)
+	const batches, perBatch = 16, 4
+
+	var wg sync.WaitGroup
+	errs := make(chan error, batches+1)
+	for i := 0; i < batches; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var ops []api.BatchOp
+			for j := 0; j < perBatch; j++ {
+				ops = append(ops, api.BatchOp{Op: "put",
+					Key:   fmt.Sprintf("cb%02d-%d", i, j),
+					Value: fmt.Sprintf("v%02d-%d", i, j)})
+			}
+			body, _ := json.Marshal(ops)
+			status, rbody, err := send("POST", srv.URL+"/v1/batch", string(body))
+			if err != nil {
+				errs <- err
+			} else if status != 204 {
+				errs <- fmt.Errorf("batch %d = %d %q", i, status, rbody)
+			}
+		}(i)
+	}
+	// One single-op write races the batches through the same coalescer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		status, rbody, err := send("PUT", srv.URL+"/v1/kv/cb-single", "sv")
+		if err != nil {
+			errs <- err
+		} else if status != 204 {
+			errs <- fmt.Errorf("single = %d %q", status, rbody)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < batches; i++ {
+		for j := 0; j < perBatch; j++ {
+			k := fmt.Sprintf("cb%02d-%d", i, j)
+			v, ok, err := db.Get([]byte(k))
+			if err != nil || !ok || string(v) != fmt.Sprintf("v%02d-%d", i, j) {
+				t.Fatalf("key %q: %q ok=%v err=%v", k, v, ok, err)
+			}
+		}
+	}
+	if v, ok, _ := db.Get([]byte("cb-single")); !ok || string(v) != "sv" {
+		t.Fatalf("single key: %q ok=%v", v, ok)
+	}
+
+	reg := db.Registry()
+	groups := reg.Counter("http_coalesce_groups_total", "").Value()
+	ops := reg.Counter("http_coalesced_ops_total", "").Value()
+	if want := int64(batches*perBatch + 1); ops != want {
+		t.Fatalf("coalesced ops = %d, want %d", ops, want)
+	}
+	if groups <= 0 || groups > int64(batches+1) {
+		t.Fatalf("groups = %d for %d requests", groups, batches+1)
+	}
+	t.Logf("coalesced %d ops (%d requests) into %d groups", ops, batches+1, groups)
+}
+
+// TestCoalescedBatchWrongShard: a coalesced batch containing one foreign
+// op is rejected whole at apply time — its owned-slot ops must not leak
+// into the shared group apply.
+func TestCoalescedBatchWrongShard(t *testing.T) {
+	view, mine, theirs := twoNodeView(t)
+	srv, db := coalClusterServerDB(t, view)
+
+	ops := []api.BatchOp{
+		{Op: "put", Key: mine, Value: "ok"},
+		{Op: "put", Key: theirs, Value: "foreign"},
+	}
+	body, _ := json.Marshal(ops)
+	resp, rbody := do(t, "POST", srv.URL+"/v1/batch", string(body))
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("mixed batch = %d %q", resp.StatusCode, rbody)
+	}
+	if env := envelope(t, rbody); env.Code != api.CodeWrongShard {
+		t.Fatalf("code = %q", env.Code)
+	}
+	for _, k := range []string{mine, theirs} {
+		if _, ok, _ := db.Get([]byte(k)); ok {
+			t.Fatalf("rejected batch leaked key %q into the engine", k)
+		}
+	}
+
+	// A clean batch for owned slots still lands.
+	ops = ops[:1]
+	body, _ = json.Marshal(ops)
+	if resp, rbody := do(t, "POST", srv.URL+"/v1/batch", string(body)); resp.StatusCode != 204 {
+		t.Fatalf("owned batch = %d %q", resp.StatusCode, rbody)
+	}
+	if v, ok, _ := db.Get([]byte(mine)); !ok || string(v) != "ok" {
+		t.Fatalf("owned batch write missing: %q ok=%v", v, ok)
+	}
+}
+
+// TestCoalescedWrongShard: the coalescer re-checks ownership, so a write
+// for a foreign slot is answered 421 and never committed.
+func TestCoalescedWrongShard(t *testing.T) {
+	view, _, theirs := twoNodeView(t)
+	srv, db := coalClusterServerDB(t, view)
+
+	resp, body := do(t, "PUT", srv.URL+"/v1/kv/"+theirs, "v")
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("foreign PUT = %d %q", resp.StatusCode, body)
+	}
+	if env := envelope(t, body); env.Code != api.CodeWrongShard {
+		t.Fatalf("code = %q", env.Code)
+	}
+	if _, ok, _ := db.Get([]byte(theirs)); ok {
+		t.Fatal("rejected write reached the engine")
+	}
+}
+
+// TestFenceWriteRaceCoalesced is TestFenceWriteRace with coalescing on:
+// an in-flight PUT whose body completes only after the fence must be
+// answered WRONG_SHARD by the coalescer's re-check and must not reach the
+// engine — a coalesced ack still guarantees commit before the fence.
+func TestFenceWriteRaceCoalesced(t *testing.T) {
+	view, mine, _ := twoNodeView(t)
+	srv, db := coalClusterServerDB(t, view)
+
+	pr, pw := io.Pipe()
+	type outcome struct {
+		status int
+		code   string
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		req, err := http.NewRequest("PUT", srv.URL+"/v1/kv/"+mine, pr)
+		if err != nil {
+			done <- outcome{0, err.Error()}
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- outcome{0, err.Error()}
+			return
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		var env api.Envelope
+		json.Unmarshal(buf.Bytes(), &env)
+		done <- outcome{resp.StatusCode, env.Code}
+	}()
+
+	// Get the request in flight with its body still open…
+	if _, err := pw.Write([]byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// …then fence the key's slot away to the other node.
+	cur := view.Current()
+	next, err := cur.WithMove(cluster.ShardOf([]byte(mine), cur.Shards), "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, _ := json.Marshal(next)
+	if resp, body := do(t, "POST", srv.URL+"/v1/shardmap", string(nb)); resp.StatusCode != 204 {
+		t.Fatalf("fence POST = %d %q", resp.StatusCode, body)
+	}
+	// Only now let the body finish. The op is coalesced after the fence,
+	// so the group's ownership re-check runs under the post-fence map.
+	pw.Write([]byte("2"))
+	pw.Close()
+
+	o := <-done
+	if o.status != http.StatusMisdirectedRequest || o.code != api.CodeWrongShard {
+		t.Fatalf("post-fence PUT = %d %q, want 421 WRONG_SHARD", o.status, o.code)
+	}
+	if _, ok, err := db.Get([]byte(mine)); err != nil || ok {
+		t.Fatalf("rejected write reached the engine (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestCoalescedFenceStress: writers hammer one owned slot while maps flip
+// ownership away and back; every 204-acked write must be readable under a
+// map where this node owns the key (no lost acked writes), and 421s must
+// never have committed... the weaker but mechanical check here: acked
+// writes present, total = acked + rejected.
+func TestCoalescedFenceStress(t *testing.T) {
+	view, mine, _ := twoNodeView(t)
+	srv, db := coalClusterServerDB(t, view)
+
+	const writers, rounds = 8, 20
+	var acked sync.Map
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for wkr := 0; wkr < writers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				val := fmt.Sprintf("w%d-%d", wkr, i)
+				status, _, err := send("PUT", srv.URL+"/v1/kv/"+mine, val)
+				if err != nil {
+					t.Errorf("PUT: %v", err)
+					return
+				}
+				if status == 204 {
+					acked.Store(val, true)
+				} else if status != http.StatusMisdirectedRequest {
+					t.Errorf("PUT = %d", status)
+					return
+				}
+			}
+		}(wkr)
+	}
+	// Flip the slot away and back repeatedly.
+	slot := cluster.ShardOf([]byte(mine), view.Current().Shards)
+	for r := 0; r < rounds; r++ {
+		for _, owner := range []string{"other", "self"} {
+			cur := view.Current()
+			next, err := cur.WithMove(slot, owner)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nb, _ := json.Marshal(next)
+			if resp, body := do(t, "POST", srv.URL+"/v1/shardmap", string(nb)); resp.StatusCode != 204 {
+				t.Fatalf("fence POST = %d %q", resp.StatusCode, body)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// The key's final value must be one some writer was acked for (the
+	// last acked write wins; an unacked write must never be the survivor).
+	v, ok, err := db.Get([]byte(mine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		if _, was := acked.Load(string(v)); !was {
+			t.Fatalf("surviving value %q was never acked", v)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool deliberately drops puts at random, so strict steady-state
+// allocation bounds on pool-backed paths do not hold; the alloc-regression
+// tests still exercise the paths but relax their numeric assertions.
+const raceEnabled = false

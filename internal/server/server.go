@@ -14,6 +14,14 @@
 //	GET    /v1/scan?start=K&end=L     → bounded variant
 //	POST   /v1/batch     JSON ops     → 204 (atomic on this node)
 //
+// Batch bodies and scan responses additionally speak the binary codec
+// (internal/api/wire): POST /v1/batch with Content-Type
+// application/x-adcache-bin carries a binary batch, and GET /v1/scan with
+// that Accept value streams binary entry frames. JSON stays the default;
+// scans stream in both formats (chunks are flushed as the iterator
+// advances, and a response that ends without its terminator — "]" or the
+// binary end frame — was truncated mid-stream).
+//
 // Control plane and observability:
 //
 //	GET    /v1/stats                  → 200 JSON adcache.MetricsSnapshot
@@ -25,6 +33,7 @@
 //	DELETE /v1/migrate?shard=S        → 204 purge unowned shard (internal)
 //	GET    /metrics                   → 200 Prometheus text exposition
 //	GET    /debug/vars                → 200 expvar JSON + registry snapshot
+//	GET    /debug/pprof/*             → profiling (opt-in via WithPprof)
 //
 // The pre-/v1 routes (/kv/, /scan, /batch, /stats) remain as deprecated
 // aliases for one release: they delegate to their /v1 equivalents and
@@ -43,25 +52,32 @@
 // keyed operations additionally feed per-shard read/write histograms
 // (http_shard_read_nanos{shard="3"}, …) — the series the shard manager
 // polls through /v1/shardstats.
+//
+// With WithWriteCoalescing, concurrent write requests — single-op
+// puts/deletes and whole batch bodies — are grouped into one engine
+// Apply (one WAL commit, one flight-lock hold) — see coalesce.go for
+// the fence-interaction argument.
 package server
 
 import (
-	"context"
 	"crypto/subtle"
 	"encoding/json"
-	"errors"
 	"expvar"
 	"fmt"
 	"io"
 	"net/http"
+	httppprof "net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adcache"
 	"adcache/internal/api"
+	"adcache/internal/api/wire"
 	"adcache/internal/cluster"
+	"adcache/internal/lsm"
 	"adcache/internal/metrics"
 )
 
@@ -81,6 +97,10 @@ type config struct {
 	maxInFlight   int
 	serviceTime   time.Duration
 	internalToken string
+	pprof         bool
+	coalesce      bool
+	coalWindow    time.Duration
+	coalMaxOps    int
 }
 
 // Option configures New.
@@ -137,6 +157,31 @@ func WithConcurrencyLimit(n int) Option { return func(c *config) { c.maxInFlight
 // up as queueing delay. Production servers leave it zero.
 func WithServiceTime(d time.Duration) Option { return func(c *config) { c.serviceTime = d } }
 
+// WithPprof mounts the standard net/http/pprof endpoints under
+// /debug/pprof/. Opt-in: profiling handlers can expose stacks and should
+// not be on by default on a data port.
+func WithPprof() Option { return func(c *config) { c.pprof = true } }
+
+// WithWriteCoalescing groups concurrent write requests — single-op
+// puts/deletes and whole /v1/batch bodies — into one engine Apply under
+// one flight-lock hold, amortizing WAL fsync and lock costs across
+// connections (the cross-request analogue of the engine's write-group
+// commit). A group closes after window has passed since its first
+// request or once maxOps total ops are staged, whichever comes first;
+// window 0 groups only what is already queued (no added latency),
+// maxOps <= 0 defaults to 128. Off by default: writes apply directly. A
+// request coalesced into a group is acked only after the group's commit
+// returns, and a batch's ops all enter the same group apply (atomicity
+// preserved), so durability and fence semantics are unchanged — see
+// coalesce.go.
+func WithWriteCoalescing(window time.Duration, maxOps int) Option {
+	return func(c *config) {
+		c.coalesce = true
+		c.coalWindow = window
+		c.coalMaxOps = maxOps
+	}
+}
+
 // New returns an http.Handler serving db with the given options. It is
 // the single constructor; Handler and NewHandler are deprecated wrappers.
 func New(db *adcache.DB, opts ...Option) http.Handler {
@@ -156,14 +201,28 @@ func New(db *adcache.DB, opts ...Option) http.Handler {
 	s := &server{db: db, cfg: cfg, reg: db.Registry(), nShards: nShards}
 	s.readHist = make([]*metrics.Histogram, nShards)
 	s.writeHist = make([]*metrics.Histogram, nShards)
+	s.shardStrs = make([]string, nShards)
 	for i := 0; i < nShards; i++ {
-		s.readHist[i] = s.reg.Histogram(fmt.Sprintf("http_shard_read_nanos{shard=%q}", strconv.Itoa(i)),
+		s.shardStrs[i] = strconv.Itoa(i)
+		s.readHist[i] = s.reg.Histogram(fmt.Sprintf("http_shard_read_nanos{shard=%q}", s.shardStrs[i]),
 			"Keyed read latency by hash slot.")
-		s.writeHist[i] = s.reg.Histogram(fmt.Sprintf("http_shard_write_nanos{shard=%q}", strconv.Itoa(i)),
+		s.writeHist[i] = s.reg.Histogram(fmt.Sprintf("http_shard_write_nanos{shard=%q}", s.shardStrs[i]),
 			"Keyed write latency by hash slot.")
+	}
+	// Per-route series are precomputed into enum-indexed arrays so the
+	// per-request cost is two array loads instead of two fmt.Sprintf
+	// registry lookups.
+	for rt := routeID(0); rt < nRoutes; rt++ {
+		s.reqHist[rt] = s.reg.Histogram(fmt.Sprintf("http_request_nanos{route=%q}", routeNames[rt]),
+			"HTTP request latency by route.")
+		s.reqCount[rt] = s.reg.Counter(fmt.Sprintf("http_requests_total{route=%q}", routeNames[rt]),
+			"HTTP requests served by route.")
 	}
 	if cfg.maxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.maxInFlight)
+	}
+	if cfg.coalesce && !cfg.readOnly {
+		s.startCoalescer()
 	}
 
 	mux := http.NewServeMux()
@@ -176,6 +235,13 @@ func New(db *adcache.DB, opts ...Option) http.Handler {
 	mux.HandleFunc("/v1/migrate", s.handleMigrate)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleDebugVars)
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	// Deprecated pre-/v1 aliases: delegate to the /v1 handler under the
 	// rewritten path so behavior (and instrumentation) is identical.
 	mux.HandleFunc("/kv/", s.legacy("/kv/", "/v1/kv/", s.handleKV))
@@ -214,6 +280,13 @@ func NewHandler(db *adcache.DB, opts Options) http.Handler {
 	return New(db, o...)
 }
 
+// epochStr caches the decimal form of the current map epoch so routing
+// headers do not re-format it on every request.
+type epochStr struct {
+	e uint64
+	s string
+}
+
 type server struct {
 	db      *adcache.DB
 	cfg     config
@@ -222,6 +295,13 @@ type server struct {
 	// Per-hash-slot latency histograms, the shard manager's signal.
 	readHist  []*metrics.Histogram
 	writeHist []*metrics.Histogram
+	// shardStrs precomputes slot labels for routing headers.
+	shardStrs []string
+	// Enum-indexed per-route request metrics (see routeID).
+	reqHist  [nRoutes]*metrics.Histogram
+	reqCount [nRoutes]*metrics.Counter
+	// epochCache holds the last-formatted epoch header value.
+	epochCache atomic.Pointer[epochStr]
 	// sem bounds in-flight data-plane requests when non-nil.
 	sem chan struct{}
 	// flight orders mutations against shard-map changes: every data-plane
@@ -232,6 +312,12 @@ type server struct {
 	// migration's copy — or starts after it and sees the new map's
 	// ownership, answering WRONG_SHARD instead of acking a doomed write.
 	flight sync.RWMutex
+	// coal groups concurrent single-op writes when WithWriteCoalescing is
+	// on (nil otherwise); see coalesce.go.
+	coal       *coalescer
+	coalGroups *metrics.Counter
+	coalOps    *metrics.Counter
+	coalSize   *metrics.Histogram
 }
 
 // legacy rewrites a deprecated route onto its /v1 handler.
@@ -245,65 +331,70 @@ func (s *server) legacy(old, v1 string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// route classifies a request path into a bounded label set, so the metric
-// cardinality cannot grow with the key space.
-func route(path string) string {
+// routeID classifies a request path into a bounded label set, so the
+// metric cardinality cannot grow with the key space. The enum indexes the
+// server's precomputed per-route metric arrays.
+type routeID int
+
+const (
+	routeKV routeID = iota
+	routeScan
+	routeBatch
+	routeStats
+	routeShardMap
+	routeShardStats
+	routeMigrate
+	routeMetrics
+	routeDebug
+	routeOther
+	nRoutes
+)
+
+var routeNames = [nRoutes]string{
+	"kv", "scan", "batch", "stats", "shardmap", "shardstats", "migrate", "metrics", "debug", "other",
+}
+
+func routeOf(path string) routeID {
 	path = strings.TrimPrefix(path, "/v1")
 	switch {
 	case strings.HasPrefix(path, "/kv/"):
-		return "kv"
+		return routeKV
 	case path == "/scan":
-		return "scan"
+		return routeScan
 	case path == "/batch":
-		return "batch"
+		return routeBatch
 	case path == "/stats":
-		return "stats"
+		return routeStats
 	case path == "/shardmap":
-		return "shardmap"
+		return routeShardMap
 	case path == "/shardstats":
-		return "shardstats"
+		return routeShardStats
 	case path == "/migrate":
-		return "migrate"
+		return routeMigrate
 	case path == "/metrics":
-		return "metrics"
+		return routeMetrics
 	case strings.HasPrefix(path, "/debug/"):
-		return "debug"
+		return routeDebug
 	default:
-		return "other"
+		return routeOther
 	}
 }
 
 // dataRoute reports whether rt is subject to the concurrency limit.
-func dataRoute(rt string) bool { return rt == "kv" || rt == "scan" || rt == "batch" }
-
-// ctxKeyStart carries a data request's arrival time — taken before the
-// concurrency-limit wait — into handlers, so the per-shard histograms
-// include queueing delay. An overloaded node's slots then read hot to the
-// shard manager even when pure handler time is tiny.
-type ctxKeyStart struct{}
-
-// reqStart returns the request's arrival time when instrument recorded
-// one, else now.
-func reqStart(r *http.Request) time.Time {
-	if t, ok := r.Context().Value(ctxKeyStart{}).(time.Time); ok {
-		return t
-	}
-	return time.Now()
-}
+func dataRoute(rt routeID) bool { return rt == routeKV || rt == routeScan || rt == routeBatch }
 
 // instrument wraps next with per-route request counting, latency
-// histograms, and the data-plane concurrency limit. Metrics are
-// get-or-create, so the first request on each route registers its series.
+// histograms, the data-plane concurrency limit, and the pooled
+// timedWriter carrying the request's arrival time (taken before the
+// concurrency-limit wait, so per-shard histograms include queueing delay
+// — an overloaded node's slots then read hot to the shard manager even
+// when pure handler time is tiny) and scratch buffers.
 func (s *server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rt := route(r.URL.Path)
-		h := s.reg.Histogram(fmt.Sprintf("http_request_nanos{route=%q}", rt),
-			"HTTP request latency by route.")
-		s.reg.Counter(fmt.Sprintf("http_requests_total{route=%q}", rt),
-			"HTTP requests served by route.").Inc()
+		rt := routeOf(r.URL.Path)
+		s.reqCount[rt].Inc()
 		start := time.Now()
 		if dataRoute(rt) {
-			r = r.WithContext(context.WithValue(r.Context(), ctxKeyStart{}, start))
 			if s.sem != nil {
 				s.sem <- struct{}{}
 				defer func() { <-s.sem }()
@@ -312,8 +403,18 @@ func (s *server) instrument(next http.Handler) http.Handler {
 				time.Sleep(s.cfg.serviceTime)
 			}
 		}
-		next.ServeHTTP(w, r)
-		h.ObserveSince(start)
+		tw := twPool.Get().(*timedWriter)
+		tw.ResponseWriter, tw.start = w, start
+		next.ServeHTTP(tw, r)
+		tw.ResponseWriter = nil
+		if cap(tw.body) > keepScratchBytes {
+			tw.body = nil
+		}
+		if cap(tw.out) > keepScratchBytes {
+			tw.out = nil
+		}
+		twPool.Put(tw)
+		s.reqHist[rt].ObserveSince(start)
 	})
 }
 
@@ -328,11 +429,44 @@ func (s *server) epoch() uint64 {
 	return 0
 }
 
-// writeErr emits the typed error envelope.
+// epochString formats e once per epoch change and serves it from cache.
+func (s *server) epochString(e uint64) string {
+	if c := s.epochCache.Load(); c != nil && c.e == e {
+		return c.s
+	}
+	str := strconv.FormatUint(e, 10)
+	s.epochCache.Store(&epochStr{e: e, s: str})
+	return str
+}
+
+// shardStr returns the cached slot label.
+func (s *server) shardStr(shard int) string {
+	if shard >= 0 && shard < len(s.shardStrs) {
+		return s.shardStrs[shard]
+	}
+	return strconv.Itoa(shard)
+}
+
+// writeErr emits the typed error envelope (hand-encoded into the
+// request's scratch buffer; shape identical to json.Marshal of
+// api.Envelope, whose epoch field is omitempty).
 func (s *server) writeErr(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(api.Envelope{Code: code, Message: msg, Epoch: s.epoch()})
+	tw, buf := scratch(w)
+	buf = append(buf, `{"code":"`...)
+	buf = append(buf, code...)
+	buf = append(buf, `","message":`...)
+	buf = appendJSONString(buf, msg)
+	if e := s.epoch(); e != 0 {
+		buf = append(buf, `,"epoch":`...)
+		buf = strconv.AppendUint(buf, e, 10)
+	}
+	buf = append(buf, '}', '\n')
+	w.Write(buf)
+	if tw != nil {
+		tw.out = buf
+	}
 }
 
 // deny reports (and handles) a mutating request arriving in read-only mode.
@@ -366,10 +500,11 @@ func (s *server) shardHeaders(w http.ResponseWriter, key []byte) int {
 		return 0
 	}
 	shard := m.Shard(key)
-	w.Header().Set(api.HeaderEpoch, strconv.FormatUint(m.Epoch, 10))
-	w.Header().Set(api.HeaderShard, strconv.Itoa(shard))
+	h := w.Header()
+	h.Set(api.HeaderEpoch, s.epochString(m.Epoch))
+	h.Set(api.HeaderShard, s.shardStr(shard))
 	if s.cfg.nodeID != "" {
-		w.Header().Set(api.HeaderNode, s.cfg.nodeID)
+		h.Set(api.HeaderNode, s.cfg.nodeID)
 	}
 	return shard
 }
@@ -408,21 +543,64 @@ func (s *server) observeShard(shard int, write bool, start time.Time) {
 	}
 }
 
-// readBody drains a size-capped request body, classifying over-cap as
-// 413 TOO_LARGE and transport errors as 400 BAD_BODY.
+// readBody drains a size-capped request body into the request's pooled
+// scratch buffer, classifying over-cap as 413 TOO_LARGE and transport
+// errors as 400 BAD_BODY. The returned slice is valid until the handler
+// returns (it is recycled with the request).
 func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes))
-	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			s.writeErr(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
-				fmt.Sprintf("body exceeds %d bytes", s.cfg.maxBodyBytes))
-		} else {
-			s.writeErr(w, http.StatusBadRequest, api.CodeBadBody, err.Error())
-		}
+	limit := s.cfg.maxBodyBytes
+	if r.ContentLength > limit {
+		s.writeErr(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+			fmt.Sprintf("body exceeds %d bytes", limit))
 		return nil, false
 	}
-	return body, true
+	tw, _ := w.(*timedWriter)
+	var buf []byte
+	if tw != nil {
+		buf = tw.body[:0]
+	}
+	if hint := r.ContentLength; hint > int64(cap(buf)) && hint <= limit {
+		buf = make([]byte, 0, hint)
+	}
+	for {
+		if int64(len(buf)) > limit {
+			if tw != nil {
+				tw.body = buf
+			}
+			s.writeErr(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", limit))
+			return nil, false
+		}
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		space := buf[len(buf):cap(buf)]
+		// Never read past limit+1: one extra byte distinguishes "exactly
+		// at the cap" from "over it" without buffering an oversized body.
+		if over := int64(len(buf)+len(space)) - (limit + 1); over > 0 {
+			space = space[:int64(len(space))-over]
+		}
+		n, err := r.Body.Read(space)
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			if tw != nil {
+				tw.body = buf
+			}
+			if int64(len(buf)) > limit {
+				s.writeErr(w, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+					fmt.Sprintf("body exceeds %d bytes", limit))
+				return nil, false
+			}
+			return buf, true
+		}
+		if err != nil {
+			if tw != nil {
+				tw.body = buf
+			}
+			s.writeErr(w, http.StatusBadRequest, api.CodeBadBody, err.Error())
+			return nil, false
+		}
+	}
 }
 
 func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
@@ -433,7 +611,7 @@ func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
 	}
 	kb := []byte(key)
 	shard := s.shardHeaders(w, kb)
-	start := reqStart(r)
+	start := reqStart(w)
 	switch r.Method {
 	case http.MethodGet:
 		if !s.checkOwned(w, r, kb, shard) {
@@ -463,6 +641,10 @@ func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
+		if s.coal != nil {
+			s.coalesceWrite(w, kb, value, shard, start, wire.OpPut, s.internalOK(r))
+			return
+		}
 		s.flight.RLock()
 		defer s.flight.RUnlock()
 		if !s.checkOwned(w, r, kb, shard) {
@@ -476,6 +658,10 @@ func (s *server) handleKV(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 	case http.MethodDelete:
 		if s.deny(w) {
+			return
+		}
+		if s.coal != nil {
+			s.coalesceWrite(w, kb, nil, shard, start, wire.OpDelete, s.internalOK(r))
 			return
 		}
 		s.flight.RLock()
@@ -507,6 +693,13 @@ func (s *server) owned(key []byte) bool {
 	return m.OwnerOf(key) == s.cfg.nodeID
 }
 
+// handleScan streams matching entries: results are encoded into the
+// request's scratch buffer and flushed every scanFlushBytes, so a large
+// scan reaches the client incrementally. JSON responses are a streamed
+// array; with Accept: application/x-adcache-bin the response is a binary
+// entry stream (wire.StreamDecoder consumes it). In both formats a
+// response missing its terminator ("]" / the end frame) was cut off by a
+// mid-stream engine error and must not be trusted as complete.
 func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeErr(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
@@ -514,7 +707,7 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	start := q.Get("start")
+	startKey := q.Get("start")
 	n := 16
 	if raw := q.Get("n"); raw != "" {
 		parsed, err := strconv.Atoi(raw)
@@ -526,64 +719,139 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		n = parsed
 	}
 	end := q.Get("end")
-	if end != "" && end <= start {
+	if end != "" && end <= startKey {
 		s.writeErr(w, http.StatusBadRequest, api.CodeBadLimit,
-			fmt.Sprintf("end %q not after start %q", end, start))
+			fmt.Sprintf("end %q not after start %q", end, startKey))
 		return
 	}
-	t0 := reqStart(r)
-	out, err := s.scanOwned([]byte(start), []byte(end), n)
-	if err != nil {
-		s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
-		return
-	}
+	t0 := reqStart(w)
+	binary := r.Header.Get("Accept") == wire.ContentType
+
+	var m *cluster.ShardMap
 	if s.cfg.src != nil {
-		if m := s.cfg.src.Current(); m != nil {
-			w.Header().Set(api.HeaderEpoch, strconv.FormatUint(m.Epoch, 10))
+		m = s.cfg.src.Current()
+		if m != nil {
+			w.Header().Set(api.HeaderEpoch, s.epochString(m.Epoch))
 		}
 		if s.cfg.nodeID != "" {
 			w.Header().Set(api.HeaderNode, s.cfg.nodeID)
 		}
 	}
+
+	it, err := s.db.NewIter()
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+		return
+	}
+	defer it.Close()
+
+	if binary {
+		w.Header().Set("Content-Type", wire.ContentType)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	tw, buf := scratch(w)
+	if binary {
+		buf = wire.AppendStreamHeader(buf)
+	} else {
+		buf = append(buf, '[')
+	}
+
 	// A scan touches many slots; charge it to the slot of its first
 	// result (or the start key) — good enough for load attribution.
-	slot := 0
-	if s.nShards > 1 {
-		if len(out) > 0 {
-			slot = cluster.ShardOf([]byte(out[0].Key), s.nShards)
+	slot := -1
+	count := 0
+	wrote := false
+	ok := it.SeekGE([]byte(startKey))
+	for ; ok && count < n; ok = it.Next() {
+		k := it.Key()
+		if end != "" && string(k) >= end {
+			break
+		}
+		sh := 0
+		if m != nil {
+			sh = m.Shard(k)
+			// Skip keys this node does not own under the current map (a
+			// moved-away slot's leftover data must be invisible).
+			if m.Owner[sh] != s.cfg.nodeID {
+				continue
+			}
+		} else if s.nShards > 1 {
+			sh = cluster.ShardOf(k, s.nShards)
+		}
+		if slot < 0 {
+			slot = sh
+		}
+		if binary {
+			buf = wire.AppendEntry(buf, k, it.Value())
 		} else {
-			slot = cluster.ShardOf([]byte(start), s.nShards)
+			if count > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, `{"key":`...)
+			buf = appendJSONBytes(buf, k)
+			buf = append(buf, `,"value":`...)
+			buf = appendJSONBytes(buf, it.Value())
+			buf = append(buf, '}')
+		}
+		count++
+		if len(buf) >= scanFlushBytes {
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			wrote = true
+			buf = buf[:0]
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		if !wrote {
+			// Nothing sent yet: the error envelope can still go out whole.
+			s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+			return
+		}
+		// Mid-stream failure: stop without the terminator so the client
+		// sees a truncated (invalid) response instead of a silent prefix.
+		if tw != nil {
+			tw.out = buf
+		}
+		return
+	}
+	if binary {
+		buf = wire.AppendStreamEnd(buf)
+	} else {
+		buf = append(buf, ']', '\n')
+	}
+	w.Write(buf)
+	if slot < 0 {
+		slot = 0
+		if s.nShards > 1 {
+			slot = cluster.ShardOf([]byte(startKey), s.nShards)
 		}
 	}
 	s.observeShard(slot, false, t0)
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(out)
+	if tw != nil {
+		tw.out = buf
+	}
 }
 
-// scanOwned iterates from start, skipping keys this node does not own
-// under the current map (a moved-away slot's leftover data must be
-// invisible), until n owned entries or the end bound.
-func (s *server) scanOwned(start, end []byte, n int) ([]api.ScanEntry, error) {
-	it, err := s.db.NewIter()
-	if err != nil {
-		return nil, err
-	}
-	defer it.Close()
-	out := make([]api.ScanEntry, 0, n)
-	ok := it.SeekGE(start)
-	for ; ok && len(out) < n; ok = it.Next() {
-		k := it.Key()
-		if len(end) > 0 && string(k) >= string(end) {
-			break
-		}
-		if !s.owned(k) {
-			continue
-		}
-		out = append(out, api.ScanEntry{Key: string(k), Value: string(it.Value())})
-	}
-	return out, it.Err()
+// batchPool recycles write batches across requests and coalesced groups.
+var batchPool = sync.Pool{New: func() any { return lsm.NewBatch() }}
+
+func getBatch() *lsm.Batch {
+	b := batchPool.Get().(*lsm.Batch)
+	b.Reset()
+	return b
 }
 
+// handleBatch applies a multi-op body atomically. The body is JSON
+// ([]api.BatchOp) by default or the binary batch framing when
+// Content-Type is application/x-adcache-bin. Per-request work — map
+// fetch, epoch header, internal-token check — is hoisted out of the op
+// loop, and the touched-slot set is a fixed array (cluster.DefaultShards
+// wide) rather than a map allocation.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeErr(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
@@ -597,55 +865,183 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	isBin := r.Header.Get("Content-Type") == wire.ContentType
 	var ops []api.BatchOp
-	if err := json.Unmarshal(body, &ops); err != nil {
+	var dec wire.BatchDecoder
+	if isBin {
+		if err := dec.Init(body); err != nil {
+			s.writeErr(w, http.StatusBadRequest, api.CodeBadBody, err.Error())
+			return
+		}
+	} else if err := json.Unmarshal(body, &ops); err != nil {
 		s.writeErr(w, http.StatusBadRequest, api.CodeBadBody, err.Error())
 		return
 	}
-	start := reqStart(r)
+	start := reqStart(w)
+	internal := s.internalOK(r)
+	if s.coal != nil {
+		s.coalesceBatch(w, isBin, ops, &dec, start, internal)
+		return
+	}
 	// Ownership checks and the batch apply share one flight critical
 	// section (body already read above): a concurrent fence either waits
 	// for this whole batch to commit or forces it onto the new map.
 	s.flight.RLock()
 	defer s.flight.RUnlock()
-	b := s.db.NewBatch()
-	touched := map[int]bool{}
-	for i, op := range ops {
-		if op.Key == "" {
-			s.writeErr(w, http.StatusBadRequest, api.CodeBadKey, fmt.Sprintf("op %d: empty key", i))
-			return
+	var m *cluster.ShardMap
+	if s.cfg.src != nil {
+		if m = s.cfg.src.Current(); m != nil {
+			w.Header().Set(api.HeaderEpoch, s.epochString(m.Epoch))
 		}
-		kb := []byte(op.Key)
-		shard := 0
-		if s.cfg.src != nil {
-			if m := s.cfg.src.Current(); m != nil {
-				shard = m.Shard(kb)
-				w.Header().Set(api.HeaderEpoch, strconv.FormatUint(m.Epoch, 10))
+	}
+	var touchedArr [cluster.DefaultShards]bool
+	touched := touchedArr[:]
+	if s.nShards > len(touched) {
+		touched = make([]bool, s.nShards)
+	}
+	b := getBatch()
+	defer batchPool.Put(b)
+	// stage validates one op's key and ownership and marks its slot
+	// touched; key may alias the request body (the batch copies it).
+	stage := func(i int, kb []byte) bool {
+		if len(kb) == 0 {
+			s.writeErr(w, http.StatusBadRequest, api.CodeBadKey, fmt.Sprintf("op %d: empty key", i))
+			return false
+		}
+		if m != nil {
+			shard := m.Shard(kb)
+			if !internal {
+				if owner := m.Owner[shard]; owner != s.cfg.nodeID {
+					s.writeErr(w, http.StatusMisdirectedRequest, api.CodeWrongShard,
+						fmt.Sprintf("shard %d owned by node %q", shard, owner))
+					return false
+				}
+			}
+			if shard < len(touched) {
+				touched[shard] = true
+			}
+		} else {
+			touched[0] = true
+		}
+		return true
+	}
+	if isBin {
+		for i := 0; ; i++ {
+			kind, kb, vb, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				s.writeErr(w, http.StatusBadRequest, api.CodeBadBody, err.Error())
+				return
+			}
+			if !stage(i, kb) {
+				return
+			}
+			if kind == wire.OpPut {
+				b.Put(kb, vb)
+			} else {
+				b.Delete(kb)
 			}
 		}
-		if !s.checkOwned(w, r, kb, shard) {
-			return
-		}
-		touched[shard] = true
-		switch op.Op {
-		case "put":
-			b.Put(kb, []byte(op.Value))
-		case "delete":
-			b.Delete(kb)
-		default:
-			s.writeErr(w, http.StatusBadRequest, api.CodeBadOp,
-				fmt.Sprintf("op %d: unknown %q (want put|delete)", i, op.Op))
-			return
+	} else {
+		for i, op := range ops {
+			kb := []byte(op.Key)
+			if !stage(i, kb) {
+				return
+			}
+			switch op.Op {
+			case "put":
+				b.Put(kb, []byte(op.Value))
+			case "delete":
+				b.Delete(kb)
+			default:
+				s.writeErr(w, http.StatusBadRequest, api.CodeBadOp,
+					fmt.Sprintf("op %d: unknown %q (want put|delete)", i, op.Op))
+				return
+			}
 		}
 	}
 	if err := s.db.Apply(b); err != nil {
 		s.writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
 		return
 	}
-	for shard := range touched {
-		s.observeShard(shard, true, start)
+	for sh := 0; sh < s.nShards && sh < len(touched); sh++ {
+		if touched[sh] {
+			s.observeShard(sh, true, start)
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// coalesceBatch routes a decoded /v1/batch body through the write
+// coalescer: the whole body is staged as one coalOp (outside any lock —
+// body-shape validation does not depend on the shard map, and slot
+// indices are fixed for the cluster's lifetime), and ownership of every
+// staged slot is re-checked by the coalescer at apply time, rejecting
+// the batch whole if any slot moved. Keys and values alias the pooled
+// request body; coalesceApply blocks until the group commits, so the
+// buffer cannot be recycled out from under the coalescer.
+func (s *server) coalesceBatch(w http.ResponseWriter, isBin bool, ops []api.BatchOp, dec *wire.BatchDecoder, start time.Time, internal bool) {
+	var m *cluster.ShardMap
+	if s.cfg.src != nil {
+		if m = s.cfg.src.Current(); m != nil {
+			w.Header().Set(api.HeaderEpoch, s.epochString(m.Epoch))
+		}
+	}
+	op := coalOpPool.Get().(*coalOp)
+	op.reset(internal)
+	bad := func(status int, code, msg string) {
+		s.writeErr(w, status, code, msg)
+		op.release()
+		coalOpPool.Put(op)
+	}
+	stage := func(i int, kind byte, kb, vb []byte) bool {
+		if len(kb) == 0 {
+			bad(http.StatusBadRequest, api.CodeBadKey, fmt.Sprintf("op %d: empty key", i))
+			return false
+		}
+		shard := 0
+		if m != nil {
+			shard = m.Shard(kb)
+		}
+		op.add(kind, kb, vb, shard)
+		return true
+	}
+	if isBin {
+		for i := 0; ; i++ {
+			kind, kb, vb, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				bad(http.StatusBadRequest, api.CodeBadBody, err.Error())
+				return
+			}
+			if !stage(i, kind, kb, vb) {
+				return
+			}
+		}
+	} else {
+		for i, o := range ops {
+			var kind byte
+			var vb []byte
+			switch o.Op {
+			case "put":
+				kind, vb = wire.OpPut, []byte(o.Value)
+			case "delete":
+				kind = wire.OpDelete
+			default:
+				bad(http.StatusBadRequest, api.CodeBadOp,
+					fmt.Sprintf("op %d: unknown %q (want put|delete)", i, o.Op))
+				return
+			}
+			if !stage(i, kind, []byte(o.Key), vb) {
+				return
+			}
+		}
+	}
+	s.coalesceApply(w, op, start)
 }
 
 // handleStats serves the DB's unified snapshot verbatim — one struct, one
