@@ -111,6 +111,12 @@ type Options struct {
 	// AdCache optionally overrides the AdCache configuration; Capacity is
 	// filled from CacheBytes.
 	AdCache core.Config
+	// UnifiedMemory extends the adaptive arbiter across the memtables
+	// (StrategyAdCache only): CacheBytes becomes one budget shared by the
+	// active/immutable memtables, the block cache, and the range cache,
+	// and the agent moves bytes across all three as the read/write mix
+	// drifts. Shorthand for AdCache.MemtableArbitration = true.
+	UnifiedMemory bool
 	// RangeShards optionally shards result caches by key range (§4.4).
 	RangeShards []string
 	// Compression selects per-block SSTable compression (CompressionNone or
@@ -185,6 +191,9 @@ func Open(opts Options) (*DB, error) {
 	case StrategyAdCache:
 		cfg := opts.AdCache
 		cfg.Capacity = opts.CacheBytes
+		if opts.UnifiedMemory {
+			cfg.MemtableArbitration = true
+		}
 		if len(opts.RangeShards) > 0 && len(cfg.SplitKeys) == 0 {
 			cfg.SplitKeys = opts.RangeShards
 		}

@@ -59,6 +59,19 @@
 // throughput at equal-or-better read p99 with zero client errors:
 //
 //	adbench -wire -json
+//
+// With -memory, adbench runs the unified-memory experiment: the
+// RL-arbitrated single budget (memtables + block cache + range cache)
+// against a grid of static memtable/cache splits of the same total budget,
+// over a write-heavy → read-heavy → scan-heavy phase schedule, scored in
+// simulated time (deterministic InlineCompaction + SyncTuning runs). With
+// -json it writes per-phase throughput, budget trajectories and the gate
+// results to -out (default BENCH_MEMORY.json); at artifact scale it exits
+// non-zero unless unified beats every static split on phase-aggregate
+// simulated-time throughput with read-heavy Get p99 no worse than the best
+// static split and zero errors:
+//
+//	adbench -memory -json
 package main
 
 import (
@@ -87,10 +100,23 @@ func main() {
 		disk     = flag.Bool("disk", false, "run the on-disk persistence benchmark (none vs flate block compression on OSFS)")
 		clusterB = flag.Bool("cluster", false, "run the 3-node cluster benchmark (fleet p99 before/after a latency-driven rebalance)")
 		wireB    = flag.Bool("wire", false, "run the data-plane benchmark (JSON vs binary codec vs codec+write-coalescing over real HTTP)")
-		asJSON   = flag.Bool("json", false, "with -readpath, -compaction, -disk, -cluster or -wire, write results as JSON")
-		out      = flag.String("out", "", "with -json, output file (default BENCH_READPATH.json / BENCH_COMPACTION.json / BENCH_DISK.json / BENCH_CLUSTER.json / BENCH_WIRE.json)")
+		memB     = flag.Bool("memory", false, "run the unified-memory benchmark (RL-arbitrated budget vs static memtable/cache splits over a three-phase schedule)")
+		asJSON   = flag.Bool("json", false, "with -readpath, -compaction, -disk, -cluster, -wire or -memory, write results as JSON")
+		out      = flag.String("out", "", "with -json, output file (default BENCH_READPATH.json / BENCH_COMPACTION.json / BENCH_DISK.json / BENCH_CLUSTER.json / BENCH_WIRE.json / BENCH_MEMORY.json)")
 	)
 	flag.Parse()
+
+	if *memB {
+		path := *out
+		if path == "" {
+			path = "BENCH_MEMORY.json"
+		}
+		if err := runMemBench(*keys, *values, *ops, *asJSON, path); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *wireB {
 		path := *out

@@ -112,9 +112,23 @@ type ShardStat struct {
 	Writes metrics.HistogramSnapshot `json:"writes"`
 }
 
+// BudgetStat is one component of the node's unified memory ledger as
+// reported by /v1/shardstats: the arbiter's byte target for the component
+// and the bytes it actually holds. Components are "memtable",
+// "blockcache" and "rangecache".
+type BudgetStat struct {
+	Component   string `json:"component"`
+	TargetBytes int64  `json:"target_bytes"`
+	ActualBytes int64  `json:"actual_bytes"`
+}
+
 // ShardStats is the /v1/shardstats response.
 type ShardStats struct {
 	Node   string      `json:"node"`
 	Epoch  uint64      `json:"epoch"`
 	Shards []ShardStat `json:"shards"`
+	// Budgets is the node's unified memory ledger (present when the node
+	// runs the adaptive strategy), so the shard manager and operators can
+	// watch memory move between the write and read sides.
+	Budgets []BudgetStat `json:"budgets,omitempty"`
 }

@@ -18,7 +18,9 @@ import (
 // the actor's decoded output (one window behind the latest statistics,
 // §4.2).
 type Params struct {
-	// RangeRatio is the fraction of the budget held by the range cache.
+	// RangeRatio is the fraction of the cache budget held by the range
+	// cache (the block cache holds the rest). With memtable arbitration the
+	// cache budget is Capacity minus the memtable share.
 	RangeRatio float64
 	// PointThreshold is the absolute normalized-frequency score a missed
 	// key must reach to be admitted (§3.4).
@@ -27,12 +29,35 @@ type Params struct {
 	ScanA int
 	// ScanB is the partial-admission aggressiveness b ∈ [0,1].
 	ScanB float64
+	// MemRatio is the fraction of the unified budget allotted to the
+	// active + immutable memtables. Always 0 unless
+	// Config.MemtableArbitration is set.
+	MemRatio float64
 }
 
 // Config configures an AdCache instance.
 type Config struct {
-	// Capacity is the total byte budget shared by block and range caches.
+	// Capacity is the total byte budget shared by block and range caches —
+	// and, with MemtableArbitration, by the memtables too: one unified
+	// ledger the agent moves bytes across as the read/write mix drifts.
 	Capacity int64
+
+	// MemtableArbitration extends the arbiter across the write side:
+	// the action space gains a memtable-share dimension, the state vector
+	// gains write-side features, and the bound DB's flush threshold tracks
+	// the agent's allocation (via lsm.DB.SetMemTableBudget; shrinks apply
+	// at the next memtable rotation). The reward becomes mix-weighted
+	// between read hit rate and write efficiency (1/write-amplification).
+	MemtableArbitration bool
+	// InitialMemRatio seeds the memtable share before the agent's first
+	// decision (default 0.25; meaningful only with MemtableArbitration,
+	// and pinned there by DisablePartitioning).
+	InitialMemRatio float64
+	// MemRatioMin and MemRatioMax bound the decoded memtable share
+	// (defaults 0.05 and 0.6): the engine always keeps a working write
+	// buffer, and the caches are never starved below 40% of the budget.
+	MemRatioMin float64
+	MemRatioMax float64
 	// WindowSize is the operations-per-window control interval
 	// (paper default: 1000).
 	WindowSize int
@@ -109,6 +134,15 @@ func (c Config) withDefaults() Config {
 	if c.EvictionPolicy == "" {
 		c.EvictionPolicy = "lru"
 	}
+	if c.InitialMemRatio <= 0 {
+		c.InitialMemRatio = 0.25
+	}
+	if c.MemRatioMin <= 0 {
+		c.MemRatioMin = 0.05
+	}
+	if c.MemRatioMax <= 0 {
+		c.MemRatioMax = 0.6
+	}
 	if c.RL.ActorLR == 0 && c.RL.CriticLR == 0 && c.RL.Seed == 0 {
 		frozen := c.RL.Frozen
 		c.RL = rl.DefaultConfig()
@@ -160,7 +194,10 @@ type AdCache struct {
 	tuning   TuningState // last closed window's controller view (metrics)
 
 	lastBlockStats blockcache.Stats
-	windowsClosed  atomic.Int64
+	// lastWriteInfo is the previous window's write-side snapshot, owned by
+	// the tuner (like lastBlockStats) for per-window deltas.
+	lastWriteInfo lsm.WriteSideInfo
+	windowsClosed atomic.Int64
 }
 
 // New returns a started AdCache. Call Close to stop its tuning goroutine.
@@ -181,11 +218,16 @@ func New(cfg Config) (*AdCache, error) {
 	} else if cfg.PretrainSynthetic {
 		PretrainAgent(a.agent, cfg.MaxScanLen, 7)
 	}
-	rangeBytes := int64(float64(cfg.Capacity) * cfg.InitialRangeRatio)
+	initialMemRatio := 0.0
+	if cfg.MemtableArbitration {
+		initialMemRatio = cfg.InitialMemRatio
+	}
+	cacheBytes := cfg.Capacity - int64(float64(cfg.Capacity)*initialMemRatio)
+	rangeBytes := int64(float64(cacheBytes) * cfg.InitialRangeRatio)
 	// Shard sizing uses the full budget (the boundary may move the whole
 	// budget to the block side later); the initial split applies via Resize.
 	a.block = blockcache.New(cfg.Capacity)
-	a.block.Resize(cfg.Capacity - rangeBytes)
+	a.block.Resize(cacheBytes - rangeBytes)
 	a.rng = rangecache.New(rangecache.Options{
 		Capacity:  rangeBytes,
 		Policy:    cfg.EvictionPolicy,
@@ -196,6 +238,7 @@ func New(cfg Config) (*AdCache, error) {
 		PointThreshold: 0,
 		ScanA:          16, // paper: initialised to the short-scan length
 		ScanB:          0.5,
+		MemRatio:       initialMemRatio,
 	})
 	if !cfg.SyncTuning {
 		go a.tuneLoop()
@@ -204,11 +247,17 @@ func New(cfg Config) (*AdCache, error) {
 }
 
 // Bind attaches the DB so the tuner can read live LSM shape (levels, runs,
-// entries per block) for the I/O-estimate reward. Optional but recommended.
+// entries per block) for the I/O-estimate reward — and, with memtable
+// arbitration, pushes the current memtable allocation into the engine's
+// dynamic flush threshold. Optional but recommended (required for
+// MemtableArbitration to have any effect).
 func (a *AdCache) Bind(db *lsm.DB) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.db = db
+	a.mu.Unlock()
+	if a.cfg.MemtableArbitration && db != nil {
+		db.SetMemTableBudget(int64(float64(a.cfg.Capacity) * a.CurrentParams().MemRatio))
+	}
 }
 
 // Close stops the background tuner.
@@ -400,6 +449,19 @@ func (a *AdCache) ScanBlockFillQuota(scanLen int) (int64, bool) {
 // age out of the LRU naturally (the realistic invalidation cost); the range
 // cache is immune by construction.
 func (a *AdCache) OnCompaction([]uint64, []uint64) {}
+
+// dbWriteInfo returns the bound DB's lock-free write-side snapshot (zero
+// value when no DB is bound). Like shape it is safe from inside engine
+// callbacks: the snapshot is an atomic load, never d.mu.
+func (a *AdCache) dbWriteInfo() lsm.WriteSideInfo {
+	a.mu.Lock()
+	db := a.db
+	a.mu.Unlock()
+	if db == nil {
+		return lsm.WriteSideInfo{}
+	}
+	return db.WriteSideInfo()
+}
 
 // shape returns the live LSM shape when a DB is bound, else the configured
 // static shape. It reads only lock-free snapshots so it is safe from inside

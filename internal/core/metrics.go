@@ -185,11 +185,54 @@ type TuningState struct {
 	AgentSteps int64   `json:"agent_steps"`
 	HEstimate  float64 `json:"h_estimate"`
 	HSmoothed  float64 `json:"h_smoothed"`
+	// WriteEff is the last window's write efficiency (user bytes per
+	// SSTable byte written, the reciprocal of windowed write
+	// amplification). Zero unless memtable arbitration is enabled.
+	WriteEff   float64 `json:"write_eff,omitempty"`
 	Reward     float64 `json:"reward"`
 	ActorLR    float64 `json:"actor_lr"`
 	ActorLoss  float64 `json:"actor_loss"`
 	CriticLoss float64 `json:"critic_loss"`
 	Params     Params  `json:"params"`
+}
+
+// Budget is one component of the unified memory ledger: the arbiter's
+// byte target for it and what it actually holds. Components are
+// "memtable" (target = Capacity × MemRatio, actual = active + immutable
+// physical bytes), "blockcache" and "rangecache" (targets are the
+// post-split cache capacities, actuals the resident bytes).
+type Budget struct {
+	Component   string `json:"component"`
+	TargetBytes int64  `json:"target_bytes"`
+	ActualBytes int64  `json:"actual_bytes"`
+}
+
+// Budgets reports the unified ledger's per-component targets and actuals.
+// The memtable row is all-zero when no DB is bound or arbitration is off.
+// Safe for concurrent use (scrape-time).
+func (a *AdCache) Budgets() []Budget {
+	p := a.CurrentParams()
+	info := a.dbWriteInfo()
+	bs := a.block.Stats()
+	rs := a.rng.Stats()
+	return []Budget{
+		{Component: "memtable",
+			TargetBytes: int64(float64(a.cfg.Capacity) * p.MemRatio),
+			ActualBytes: info.MemBytes + info.ImmBytes},
+		{Component: "blockcache", TargetBytes: bs.Capacity, ActualBytes: bs.Used},
+		{Component: "rangecache", TargetBytes: rs.Capacity, ActualBytes: rs.Used},
+	}
+}
+
+// budgetFor returns the named component's Budget row (zero value when
+// unknown).
+func (a *AdCache) budgetFor(component string) Budget {
+	for _, b := range a.Budgets() {
+		if b.Component == component {
+			return b
+		}
+	}
+	return Budget{}
 }
 
 // TuningState returns the controller state of the last closed window. Before
@@ -208,8 +251,21 @@ func (a *AdCache) RegisterMetrics(reg *metrics.Registry) {
 	registerBlockCacheMetrics(reg, a.block)
 	registerRangeCacheMetrics(reg, a.rng)
 
-	reg.GaugeFunc("adcache_range_ratio", "Fraction of the budget held by the range cache.",
+	reg.GaugeFunc("adcache_range_ratio", "Fraction of the cache budget held by the range cache.",
 		func() float64 { return a.CurrentParams().RangeRatio })
+	reg.GaugeFunc("adcache_mem_ratio", "Fraction of the unified budget allotted to memtables (0 without arbitration).",
+		func() float64 { return a.CurrentParams().MemRatio })
+	for _, comp := range []string{"memtable", "blockcache", "rangecache"} {
+		comp := comp
+		reg.GaugeFunc(fmt.Sprintf("adcache_budget_target_bytes{component=%q}", comp),
+			"Unified-ledger byte target for the component.",
+			func() float64 { return float64(a.budgetFor(comp).TargetBytes) })
+		reg.GaugeFunc(fmt.Sprintf("adcache_budget_actual_bytes{component=%q}", comp),
+			"Bytes the component actually holds.",
+			func() float64 { return float64(a.budgetFor(comp).ActualBytes) })
+	}
+	reg.GaugeFunc("adcache_write_eff", "Last window's write efficiency (1/write-amplification; unified arbitration only).",
+		func() float64 { return a.TuningState().WriteEff })
 	reg.GaugeFunc("adcache_point_threshold", "Frequency-score threshold for point admission.",
 		func() float64 { return a.CurrentParams().PointThreshold })
 	reg.GaugeFunc("adcache_scan_a", "Full-admission scan length threshold a, in keys.",

@@ -76,11 +76,19 @@ func TargetForMix(point, short, long, write, avgScanLen float64, maxScanLen int)
 	if short+long == 0 {
 		aKeys = 16
 	}
+	// Memtable share (unified arbitration; Luo's memory-walls finding):
+	// write-heavy mixes want large memtables — fewer, bigger flushes cut
+	// write amplification — while read/scan-heavy mixes should hand the
+	// memory to the caches. The normalised action maps onto the strategy's
+	// [MemRatioMin, MemRatioMax] band, so write-dominated mixes saturate
+	// near the top of the band and read-only mixes sit at the bottom.
+	memAct := clamp01(0.05 + 1.1*write)
 	return rl.Action{
 		RangeRatio:     clamp01(ratio),
 		PointThreshold: clamp01(threshold),
 		ScanA:          clamp01(aKeys / float64(maxScanLen)),
 		ScanB:          0.4,
+		MemRatio:       memAct,
 	}
 }
 
@@ -101,6 +109,15 @@ func syntheticState(point, scan, write, avgScanLen float64, maxScanLen int, rng 
 	s[10] = float32(0.3 + rng.Float64()*0.3)
 	s[11] = float32(clamp01((avgScanLen/16 + 2) / 32))
 	s[12] = float32(0.5 + rng.Float64()*0.5)
+	// Write-side features: the in-force memtable share and memtable fill
+	// vary freely; queue depth, flush/stall rate and write amplification
+	// correlate with the write share (a write-heavy window keeps the
+	// flush pipeline busy), with noise so the actor keys on the mix.
+	s[13] = float32(rng.Float64())
+	s[14] = float32(rng.Float64())
+	s[15] = float32(clamp01(write * rng.Float64()))
+	s[16] = float32(clamp01(write * (0.2 + rng.Float64()*0.8)))
+	s[17] = float32(clamp01(write * (0.2 + rng.Float64()*0.6)))
 	return s
 }
 

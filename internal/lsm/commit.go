@@ -146,10 +146,15 @@ func (d *DB) commitGroup(group []*commitWaiter) error {
 	d.writeGroups++
 
 	var sealErr error
-	full := d.mem.ApproximateSize() >= d.opts.MemTableSize
+	// The flush threshold is dynamic when a unified-memory arbiter has set
+	// a budget (SetMemTableBudget): active target = budget − immutable
+	// bytes, floored. Checked only here — a budget shrink never truncates
+	// the in-flight memtable, it just seals it at the next write group.
+	full := d.mem.ApproximateSize() >= d.activeMemTargetLocked()
 	if full {
 		sealErr = d.sealMemTableLocked()
 	}
+	d.refreshWriteInfoLocked()
 	d.mu.Unlock()
 	if sealErr != nil {
 		return sealErr
@@ -233,7 +238,7 @@ func (d *DB) sealMemTableLocked() error {
 	if err != nil {
 		return err
 	}
-	d.imm = append(d.imm, &immTable{mem: d.mem, walNum: d.walNum})
+	d.imm = append(d.imm, &immTable{mem: d.mem, walNum: d.walNum, bytes: d.mem.ApproximateSize()})
 	oldLog := d.log
 	d.walNum = num
 	d.log = wal.NewWriter(f)

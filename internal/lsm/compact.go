@@ -93,6 +93,7 @@ func (d *DB) runCompaction(plan *compaction.Plan) error {
 		d.compactionOut += int64(f.Size)
 		d.levelCompactOut[plan.OutputLevel] += int64(f.Size)
 	}
+	d.refreshWriteInfoLocked()
 	saveErr := d.saveManifestLocked()
 	// L0 may have shrunk below the stop trigger: wake stalled writers.
 	d.bgCond.Broadcast()

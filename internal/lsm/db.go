@@ -37,6 +37,10 @@ var ErrClosed = errors.New("lsm: database closed")
 type immTable struct {
 	mem    *memtable.MemTable
 	walNum uint64
+	// bytes caches ApproximateSize at seal time: the memtable is frozen, so
+	// the commit path can charge the immutable queue against the memtable
+	// budget without taking per-memtable locks.
+	bytes int64
 }
 
 // DB is an LSM-tree key-value store. It is safe for concurrent use by
@@ -133,6 +137,19 @@ type DB struct {
 	// callbacks (where taking d.mu would deadlock).
 	shapeInfo atomic.Value // ShapeInfo
 
+	// memBudget is the dynamic byte budget for active + immutable memtables,
+	// set by a unified-memory arbiter via SetMemTableBudget. 0 means no
+	// arbiter: the static Options.MemTableSize threshold applies. Atomic so
+	// strategies can move it from inside engine callbacks (which may run
+	// under d.mu).
+	memBudget atomic.Int64
+
+	// writeInfo is a lock-free snapshot of write-side state (memtable fill,
+	// imm queue, flush/stall/amplification counters), refreshed whenever the
+	// underlying counters change under d.mu. Like shapeInfo it exists so
+	// cache strategies can observe the write side from inside callbacks.
+	writeInfo atomic.Value // WriteSideInfo
+
 	// Query-path I/O counters (atomic): block reads and block-cache hits
 	// attributable to Get/Scan only, excluding flush/compaction/recovery
 	// I/O — the paper's "SST reads" metric.
@@ -225,6 +242,7 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.removeOrphans()
 	db.seqAlloc = db.lastSeq
+	db.refreshWriteInfoLocked() // single-threaded: no other goroutine yet
 	if !opts.InlineCompaction {
 		db.bgWork = make(chan struct{}, 1)
 		db.quit = make(chan struct{})
@@ -811,8 +829,14 @@ type Metrics struct {
 	MemTableEntries int
 	MemTableBytes   int64
 	ImmMemTables    int
-	Flushes         int64
-	Compactions     int64
+	// ImmMemTableBytes is the physical bytes pinned by the sealed queue;
+	// MemTableBudget the dynamic unified-memory budget (0 = static sizing);
+	// MemTableTarget the flush threshold currently in force.
+	ImmMemTableBytes int64
+	MemTableBudget   int64
+	MemTableTarget   int64
+	Flushes          int64
+	Compactions      int64
 	// Subcompactions counts shard merges: equal to Compactions when every
 	// compaction ran serially, larger when range-partitioned shards ran.
 	Subcompactions     int64
@@ -874,6 +898,9 @@ func (d *DB) Metrics() Metrics {
 		MemTableEntries:         d.mem.Count(),
 		MemTableBytes:           d.mem.ApproximateSize(),
 		ImmMemTables:            len(d.imm),
+		ImmMemTableBytes:        d.immBytesLocked(),
+		MemTableBudget:          d.memBudget.Load(),
+		MemTableTarget:          d.activeMemTargetLocked(),
 		Flushes:                 d.flushes,
 		Compactions:             d.compactions,
 		Subcompactions:          d.subcompactions,

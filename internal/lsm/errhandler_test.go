@@ -75,12 +75,21 @@ func fastRetryOpts(fs vfs.FS) Options {
 
 // fillMemTable writes keys from base until the active memtable seals, which
 // queues a background flush.
+// fillMemTable writes until the active memtable rotates exactly once: the
+// commit that crosses the flush threshold seals it, leaving a fresh (empty
+// or near-empty) active memtable. Detecting the seal directly keeps the
+// helper independent of the memtable's per-entry charge model.
 func fillMemTable(t *testing.T, db *DB, base int) {
 	t.Helper()
-	n := int(db.opts.MemTableSize/64) + 64
-	for i := 0; i < n; i++ {
+	for i := 0; ; i++ {
 		if err := db.Put(key(base+i), val(base+i)); err != nil {
 			t.Fatalf("Put(%d): %v", base+i, err)
+		}
+		db.mu.RLock()
+		sealed := len(db.imm) > 0 || db.mem.Empty()
+		db.mu.RUnlock()
+		if sealed {
+			return
 		}
 	}
 }

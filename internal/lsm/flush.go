@@ -137,6 +137,7 @@ func (d *DB) flushImm() error {
 	d.flushes++
 	d.flushedBytes += int64(meta.Size)
 	d.imm = d.imm[1:]
+	d.refreshWriteInfoLocked()
 	saveErr := d.saveManifestLocked()
 	d.bgCond.Broadcast()
 	d.mu.Unlock()

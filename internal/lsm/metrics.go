@@ -75,6 +75,9 @@ func (d *DB) registerMetrics(reg *metrics.Registry) {
 	}{
 		{"lsm_memtable_bytes", "active memtable size", func(m Metrics) float64 { return float64(m.MemTableBytes) }},
 		{"lsm_imm_memtables", "sealed memtables awaiting flush", func(m Metrics) float64 { return float64(m.ImmMemTables) }},
+		{"lsm_imm_memtable_bytes", "bytes pinned by sealed memtables awaiting flush", func(m Metrics) float64 { return float64(m.ImmMemTableBytes) }},
+		{"lsm_memtable_budget_bytes", "dynamic unified-memory memtable budget (0 = static sizing)", func(m Metrics) float64 { return float64(m.MemTableBudget) }},
+		{"lsm_memtable_target_bytes", "flush threshold currently in force for the active memtable", func(m Metrics) float64 { return float64(m.MemTableTarget) }},
 		{"lsm_sorted_runs", "sorted runs in the tree", func(m Metrics) float64 { return float64(m.SortedRuns) }},
 		{"lsm_total_entries", "entries across all SSTables", func(m Metrics) float64 { return float64(m.TotalEntries) }},
 		{"lsm_total_bytes", "bytes across all SSTables", func(m Metrics) float64 { return float64(m.TotalBytes) }},

@@ -28,8 +28,16 @@ type Options struct {
 	// Dir is the database directory.
 	Dir string
 
-	// MemTableSize is the flush threshold in bytes.
+	// MemTableSize is the flush threshold in bytes. It is the static
+	// threshold; a cache strategy driving unified memory arbitration can
+	// override it dynamically via DB.SetMemTableBudget.
 	MemTableSize int64
+	// MinMemTableSize floors the dynamic flush threshold when a memtable
+	// budget is set (DB.SetMemTableBudget): however small the arbiter's
+	// allocation, the active memtable may always grow to this size, so a
+	// shrinking budget degrades to frequent small flushes instead of
+	// livelocking the write path. Default 32 KiB.
+	MinMemTableSize int64
 	// BlockSize is the SSTable data-block size (paper: 4 KiB).
 	BlockSize int
 	// BitsPerKey is the Bloom filter budget (paper: 10); 0 disables.
@@ -164,6 +172,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MemTableSize <= 0 {
 		o.MemTableSize = 1 << 20
+	}
+	if o.MinMemTableSize <= 0 {
+		o.MinMemTableSize = 32 << 10
 	}
 	if o.BlockSize <= 0 {
 		o.BlockSize = 4096

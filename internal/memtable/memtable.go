@@ -20,6 +20,40 @@ type node struct {
 	next  []*node
 }
 
+// nodeStructBytes is the resident size of one node struct: three slice
+// headers (72 bytes) rounded up to the allocator's 80-byte size class.
+const nodeStructBytes = 80
+
+// allocSize approximates the heap-resident footprint of an n-byte
+// allocation: Go's allocator hands out the next small-object size class,
+// not the requested length, so charging raw lengths undercounts what the
+// memtable actually pins in memory.
+func allocSize(n int) int64 {
+	switch {
+	case n == 0:
+		return 0
+	case n <= 8:
+		return 8
+	case n <= 16:
+		return 16
+	case n <= 32:
+		return 32
+	case n <= 1024:
+		return (int64(n) + 15) &^ 15
+	default:
+		return (int64(n) + 511) &^ 511
+	}
+}
+
+// entryBytes is the approximate physical footprint of one inserted entry:
+// the node struct, its height-h next array, and the key and value backing
+// arrays it pins. This is what ApproximateSize sums, so the memtable's
+// ledger charges the same physical currency as the block cache's
+// physical-byte accounting.
+func entryBytes(ikeyLen, valueLen, h int) int64 {
+	return nodeStructBytes + allocSize(8*h) + allocSize(ikeyLen) + allocSize(valueLen)
+}
+
 // MemTable is a sorted in-memory buffer of internal keys.
 type MemTable struct {
 	mu     sync.RWMutex
@@ -82,7 +116,7 @@ func (m *MemTable) Set(ikey keys.InternalKey, value []byte) {
 		n.next[level] = prev[level].next[level]
 		prev[level].next[level] = n
 	}
-	m.size += int64(len(ikey) + len(value) + 16*h)
+	m.size += entryBytes(len(ikey), len(value), h)
 	m.count++
 }
 
@@ -108,7 +142,10 @@ func (m *MemTable) GetSeek(search keys.InternalKey, userKey []byte) (value []byt
 	return n.value, false, true
 }
 
-// ApproximateSize reports the memory footprint in bytes.
+// ApproximateSize reports the approximate physical memory footprint in
+// bytes: skiplist node structs, next arrays, and key/value backing arrays
+// with allocator size-class rounding (see entryBytes). TestApproximateSize-
+// TracksHeap pins this within ±30% of measured heap growth.
 func (m *MemTable) ApproximateSize() int64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()

@@ -9,12 +9,19 @@ package nn
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"adcache/internal/vfs"
 )
+
+// ErrArchitectureMismatch is returned (wrapped) by Load when the saved
+// snapshot's layer sizes differ from the receiver's — e.g. a pretrained
+// agent serialized before the state/action space grew. Callers reject such
+// models cleanly instead of silently misindexing features.
+var ErrArchitectureMismatch = errors.New("nn: architecture mismatch")
 
 // Act selects a layer activation.
 type Act int
@@ -292,11 +299,11 @@ func (m *MLP) Load(fs vfs.FS, path string) error {
 		return err
 	}
 	if len(snap.Sizes) != len(m.sizes) {
-		return fmt.Errorf("nn: architecture mismatch: %v vs %v", snap.Sizes, m.sizes)
+		return fmt.Errorf("%w: %v vs %v", ErrArchitectureMismatch, snap.Sizes, m.sizes)
 	}
 	for i := range snap.Sizes {
 		if snap.Sizes[i] != m.sizes[i] {
-			return fmt.Errorf("nn: architecture mismatch: %v vs %v", snap.Sizes, m.sizes)
+			return fmt.Errorf("%w: %v vs %v", ErrArchitectureMismatch, snap.Sizes, m.sizes)
 		}
 	}
 	m.acts = snap.Acts

@@ -21,18 +21,22 @@ const (
 	// StateDim is the workload/cache feature vector length. Feature 12 is
 	// the block cache's physical/logical byte ratio (1.0 when blocks are
 	// uncompressed or the cache is empty), so budget arbitration observes
-	// what its byte budget actually buys in decoded data.
-	StateDim = 13
+	// what its byte budget actually buys in decoded data. Features 13-17
+	// are the write-side observations of the unified memory arbiter:
+	// current memtable share, memtable fill fraction, immutable-queue
+	// depth, flush+stall rate, and windowed write amplification.
+	StateDim = 18
 	// ActionDim covers: range-cache ratio, point admission threshold,
-	// scan partial-admission a (normalised), scan partial-admission b.
-	ActionDim = 4
+	// scan partial-admission a (normalised), scan partial-admission b,
+	// memtable budget share (unified memory arbitration).
+	ActionDim = 5
 	// HiddenDim matches the paper's 256-unit hidden layers.
 	HiddenDim = 256
 )
 
 // Action is the decoded controller output, all components in [0, 1].
 type Action struct {
-	// RangeRatio is the fraction of the memory budget given to the range
+	// RangeRatio is the fraction of the cache budget given to the range
 	// cache (the rest goes to the block cache).
 	RangeRatio float64
 	// PointThreshold is the normalised frequency-score threshold for point
@@ -43,12 +47,16 @@ type Action struct {
 	ScanA float64
 	// ScanB is the partial-admission aggressiveness b.
 	ScanB float64
+	// MemRatio is the normalised memtable share of the unified memory
+	// budget; the strategy maps it onto its configured [min, max] band.
+	// Ignored unless memtable arbitration is enabled.
+	MemRatio float64
 }
 
 func (a Action) vector() []float32 {
 	return []float32{
 		float32(a.RangeRatio), float32(a.PointThreshold),
-		float32(a.ScanA), float32(a.ScanB),
+		float32(a.ScanA), float32(a.ScanB), float32(a.MemRatio),
 	}
 }
 
@@ -58,6 +66,7 @@ func actionFrom(v []float32) Action {
 		PointThreshold: float64(v[1]),
 		ScanA:          float64(v[2]),
 		ScanB:          float64(v[3]),
+		MemRatio:       float64(v[4]),
 	}
 }
 
@@ -70,9 +79,10 @@ type Config struct {
 	Gamma float64
 	// ExploreStd is the Gaussian exploration noise applied to action means.
 	ExploreStd float64
-	// RatioExploreStd overrides the noise on the range-ratio action alone:
-	// boundary moves evict cache entries, so jitter there is costlier than
-	// on admission thresholds (defaults to ExploreStd/2).
+	// RatioExploreStd overrides the noise on the budget-moving actions
+	// (range ratio and memtable ratio): boundary moves evict cache entries
+	// or force flushes, so jitter there is costlier than on admission
+	// thresholds (defaults to ExploreStd/2).
 	RatioExploreStd float64
 	// Seed drives weight init and exploration noise.
 	Seed int64
@@ -135,8 +145,11 @@ func New(cfg Config) *Agent {
 }
 
 // noiseStd returns the exploration standard deviation for action dim i.
+// Both budget-moving dims (range ratio, memtable ratio) use the damped
+// RatioExploreStd: jitter there evicts cache entries or forces flushes,
+// unlike jitter on admission thresholds.
 func (a *Agent) noiseStd(i int) float64 {
-	if i == 0 {
+	if i == 0 || i == 4 {
 		return a.cfg.RatioExploreStd
 	}
 	return a.cfg.ExploreStd

@@ -1116,6 +1116,18 @@ func (s *server) handleShardStats(w http.ResponseWriter, r *http.Request) {
 			Writes: s.writeHist[i].Snapshot(),
 		}
 	}
+	// Unified memory ledger (adaptive strategy only): lets the manager and
+	// operators watch memory shift between memtables and the caches.
+	if snap := s.db.Metrics(); snap.AdCache != nil {
+		st.Budgets = make([]api.BudgetStat, 0, len(snap.AdCache.Budgets))
+		for _, b := range snap.AdCache.Budgets {
+			st.Budgets = append(st.Budgets, api.BudgetStat{
+				Component:   b.Component,
+				TargetBytes: b.TargetBytes,
+				ActualBytes: b.ActualBytes,
+			})
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(st)
 }

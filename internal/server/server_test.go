@@ -516,6 +516,40 @@ func TestShardStats(t *testing.T) {
 	}
 }
 
+// TestShardStatsBudgets: adaptive-strategy nodes report the unified memory
+// ledger (memtable, blockcache, rangecache) on /v1/shardstats, so the
+// shard manager and operators can see memory moving between components.
+func TestShardStatsBudgets(t *testing.T) {
+	view, _, _ := twoNodeView(t)
+	srv := clusterServer(t, view)
+
+	resp, body := do(t, "GET", srv.URL+"/v1/shardstats", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st api.ShardStats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]api.BudgetStat{}
+	for _, b := range st.Budgets {
+		seen[b.Component] = b
+	}
+	for _, want := range []string{"memtable", "blockcache", "rangecache"} {
+		if _, ok := seen[want]; !ok {
+			t.Fatalf("budgets missing %q: %+v", want, st.Budgets)
+		}
+	}
+	// Without unified memory the caches split the whole budget and the
+	// memtable target is zero (arbitration off).
+	if sum := seen["blockcache"].TargetBytes + seen["rangecache"].TargetBytes; sum != 1<<20 {
+		t.Fatalf("cache targets sum to %d, want %d", sum, 1<<20)
+	}
+	if got := seen["memtable"].TargetBytes; got != 0 {
+		t.Fatalf("memtable target %d with arbitration off, want 0", got)
+	}
+}
+
 // TestMigrateEndpoints: export, bulk-load and purge one slot through the
 // internal migration surface.
 func TestMigrateEndpoints(t *testing.T) {

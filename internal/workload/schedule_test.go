@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestScheduleDeterministic pins the property every memory-arbitration
+// comparison rests on: two schedules over same-seeded generators emit
+// byte-identical (op, phase) streams, so unified and static configurations
+// see the same load. Runs under -race in CI (the generators are driven
+// from separate goroutines) to pin that determinism does not lean on
+// shared state.
+func TestScheduleDeterministic(t *testing.T) {
+	type rec struct {
+		phase string
+		kind  OpKind
+		key   []byte
+		slen  int
+	}
+	run := func(out chan<- []rec) {
+		gen := NewGenerator(Config{NumKeys: 5000, ValueSize: 64, Seed: 42})
+		s := NewSchedule(gen, MemoryPhases(), 400)
+		var got []rec
+		for {
+			op, ph, ok := s.Next()
+			if !ok {
+				break
+			}
+			got = append(got, rec{ph.Name, op.Kind, op.Key, op.ScanLen})
+		}
+		out <- got
+	}
+	a, b := make(chan []rec, 1), make(chan []rec, 1)
+	go run(a)
+	go run(b)
+	ra, rb := <-a, <-b
+
+	if len(ra) != 3*400 {
+		t.Fatalf("emitted %d ops, want %d", len(ra), 3*400)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].phase != rb[i].phase || ra[i].kind != rb[i].kind ||
+			!bytes.Equal(ra[i].key, rb[i].key) || ra[i].slen != rb[i].slen {
+			t.Fatalf("op %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+
+	// Phase boundaries land exactly on the per-phase quota.
+	for i, want := range []string{"write-heavy", "read-heavy", "scan-heavy"} {
+		if got := ra[i*400].phase; got != want {
+			t.Fatalf("op %d in phase %q, want %q", i*400, got, want)
+		}
+		if got := ra[i*400+399].phase; got != want {
+			t.Fatalf("op %d in phase %q, want %q", i*400+399, got, want)
+		}
+	}
+
+	// The mixes actually differ across phases: the write-heavy phase is
+	// write-dominated, the read-heavy phase point-dominated, the scan-heavy
+	// phase scan-dominated.
+	counts := map[string]map[OpKind]int{}
+	for _, r := range ra {
+		if counts[r.phase] == nil {
+			counts[r.phase] = map[OpKind]int{}
+		}
+		counts[r.phase][r.kind]++
+	}
+	if w := counts["write-heavy"][OpPut]; w < 400*60/100 {
+		t.Fatalf("write-heavy phase only %d/400 puts", w)
+	}
+	if g := counts["read-heavy"][OpGet]; g < 400*70/100 {
+		t.Fatalf("read-heavy phase only %d/400 gets", g)
+	}
+	if s := counts["scan-heavy"][OpScan]; s < 400*70/100 {
+		t.Fatalf("scan-heavy phase only %d/400 scans", s)
+	}
+}
+
+func TestScheduleExhausts(t *testing.T) {
+	gen := NewGenerator(Config{NumKeys: 100, Seed: 7})
+	s := NewSchedule(gen, MemoryPhases(), 0)
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("zero-quota schedule should emit nothing")
+	}
+	s = NewSchedule(gen, MemoryPhases(), 3)
+	for i := 0; i < 9; i++ {
+		if _, _, ok := s.Next(); !ok {
+			t.Fatalf("schedule exhausted early at op %d", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, ok := s.Next(); ok {
+			t.Fatal("schedule should stay exhausted")
+		}
+	}
+}

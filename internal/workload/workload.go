@@ -84,6 +84,51 @@ func DynamicPhases() []Phase {
 	}
 }
 
+// MemoryPhases is the unified-memory arbitration schedule: a write-heavy
+// phase (memory pays in the memtables — bigger flushes, less write
+// amplification), a point-read-heavy phase (memory pays in the caches),
+// and a scan-heavy phase with a trickle of writes (memory pays in the
+// block cache). `adbench -memory` drives this schedule; each phase is
+// long enough for the arbiter to converge before the mix flips.
+func MemoryPhases() []Phase {
+	return []Phase{
+		{"write-heavy", Mix{GetPct: 10, ShortScanPct: 5, WritePct: 85}},
+		{"read-heavy", Mix{GetPct: 90, ShortScanPct: 5, WritePct: 5}},
+		{"scan-heavy", Mix{GetPct: 5, ShortScanPct: 45, LongScanPct: 45, WritePct: 5}},
+	}
+}
+
+// Schedule walks a Generator through a phase sequence, a fixed number of
+// operations per phase. It is deterministic under the generator's seed:
+// two schedules over same-seeded generators yield identical (op, phase)
+// streams, so every configuration under comparison sees the same load.
+type Schedule struct {
+	gen      *Generator
+	phases   []Phase
+	perPhase int
+	emitted  int
+}
+
+// NewSchedule returns a schedule emitting opsPerPhase operations for each
+// phase in order.
+func NewSchedule(gen *Generator, phases []Phase, opsPerPhase int) *Schedule {
+	return &Schedule{gen: gen, phases: phases, perPhase: opsPerPhase}
+}
+
+// Next draws the next operation and the phase it belongs to. ok is false
+// once every phase has emitted its quota.
+func (s *Schedule) Next() (op Op, phase Phase, ok bool) {
+	idx := 0
+	if s.perPhase > 0 {
+		idx = s.emitted / s.perPhase
+	}
+	if s.perPhase <= 0 || idx >= len(s.phases) {
+		return Op{}, Phase{}, false
+	}
+	s.emitted++
+	return s.gen.Next(s.phases[idx].Mix), s.phases[idx], true
+}
+
 // Config parameterises a Generator.
 type Config struct {
 	// NumKeys is the key-space size.

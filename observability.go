@@ -27,6 +27,9 @@ type AdCacheSnapshot struct {
 	Params  core.Params      `json:"params"`
 	Tuning  core.TuningState `json:"tuning"`
 	Windows int64            `json:"windows"`
+	// Budgets is the unified memory ledger: per-component byte targets and
+	// actuals for memtable, blockcache and rangecache.
+	Budgets []core.Budget `json:"budgets"`
 }
 
 // Metrics returns the unified snapshot. Safe to call concurrently with
@@ -45,6 +48,7 @@ func (d *DB) Metrics() MetricsSnapshot {
 			Params:  d.ad.CurrentParams(),
 			Tuning:  d.ad.TuningState(),
 			Windows: d.ad.Windows(),
+			Budgets: d.ad.Budgets(),
 		}
 	}
 	return m
