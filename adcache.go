@@ -297,6 +297,13 @@ func (d *DB) Flush() error { return d.inner.Flush() }
 // Compact forces compactions until the tree shape is satisfied.
 func (d *DB) Compact() error { return d.inner.Compact() }
 
+// Resume exits read-only degraded mode (entered when background
+// flush/compaction errors exhaust their retries): it clears the error
+// state and synchronously re-drives the backlog, so a nil return means
+// the tree is healthy and writes flow again. Resuming a healthy DB is a
+// no-op. /v1/health reports the degraded state this undoes.
+func (d *DB) Resume() error { return d.inner.Resume() }
+
 // Close stops background tuning and closes the store.
 func (d *DB) Close() error {
 	if d.ad != nil {

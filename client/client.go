@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -73,6 +74,22 @@ type Stats struct {
 	WrongShardRetries int64
 	// MapRefreshes counts shard-map fetches after the initial bootstrap.
 	MapRefreshes int64
+	// RetryableErrors counts attempts that failed retryably — transport
+	// errors, per-attempt timeouts, open breakers — and were retried.
+	RetryableErrors int64
+	// TerminalErrors counts calls that ended in a terminal error (an
+	// envelope other than WRONG_SHARD/NOT_FOUND, or the caller's context
+	// ending).
+	TerminalErrors int64
+	// BreakerOpens and BreakerCloses count per-node circuit-breaker
+	// transitions; a close after an open is the recovery signal chaos
+	// tests assert on.
+	BreakerOpens  int64
+	BreakerCloses int64
+	// HedgedReads counts hedge requests launched (WithHedgedReads);
+	// HedgeWins counts hedges that answered before the primary.
+	HedgedReads int64
+	HedgeWins   int64
 }
 
 // Option configures New.
@@ -88,9 +105,41 @@ func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = 
 // (default 20 — enough to ride out one shard migration).
 func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
 
-// WithRetryBackoff sets the per-attempt backoff base (default 5ms; the
-// k-th retry waits k×base, capped at 20×base).
+// WithRetryBackoff sets the per-attempt backoff base (default 5ms). The
+// k-th retry waits a full-jitter draw from [0, min(cap, base·2^(k-1))];
+// the cap defaults to 20×base (see WithBackoffCap).
 func WithRetryBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithBackoffCap caps the exponential backoff ceiling (default 20×base).
+func WithBackoffCap(d time.Duration) Option { return func(c *Client) { c.backoffCap = d } }
+
+// WithRequestTimeout puts a deadline on each individual attempt (0 —
+// the default — relies on the http.Client's overall timeout only). With
+// it, a hung node costs one attempt's timeout, not the whole call
+// budget; the deadline covers reading the response body, so size it for
+// scans too.
+func WithRequestTimeout(d time.Duration) Option { return func(c *Client) { c.reqTimeout = d } }
+
+// WithJitterSeed seeds the backoff/jitter PRNG so retry schedules
+// replay run-to-run (0 = seed from the clock).
+func WithJitterSeed(seed int64) Option { return func(c *Client) { c.jitterSeed = seed } }
+
+// WithBreaker tunes the per-node circuit breaker: it opens after
+// threshold consecutive transport failures to one node and half-open
+// probes after cooldown (defaults 5 and 200ms). An open breaker never
+// fails a call terminally — attempts against it are skipped and
+// retried elsewhere in time, so a dead node stops eating connect
+// timeouts and a recovering one is rediscovered by a single probe.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) { c.breakerThreshold, c.breakerCooldown = threshold, cooldown }
+}
+
+// WithHedgedReads arms read hedging: a Get or scan-open that has not
+// answered within delay is raced against a second identical request on
+// another pooled connection; the first usable answer wins. Reads only —
+// writes are never hedged. This converts a brownout node's tail (slow
+// with probability p) into p² at the cost of bounded duplicate reads.
+func WithHedgedReads(delay time.Duration) Option { return func(c *Client) { c.hedgeDelay = delay } }
 
 // WithBinary switches the bulk data plane to the length-prefixed binary
 // framing: batches POST application/x-adcache-bin bodies and scans ask
@@ -108,12 +157,31 @@ type Client struct {
 	seeds      []string
 	maxRetries int
 	backoff    time.Duration
+	backoffCap time.Duration
+	reqTimeout time.Duration
+	hedgeDelay time.Duration
+	jitterSeed int64
 	binary     bool
+
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	brMu     sync.Mutex
+	breakers map[string]*breaker
 
 	cur atomic.Pointer[cluster.ShardMap] // nil in single-node mode
 
-	retries   atomic.Int64
-	refreshes atomic.Int64
+	retries       atomic.Int64
+	refreshes     atomic.Int64
+	retryableErrs atomic.Int64
+	terminalErrs  atomic.Int64
+	breakerOpens  atomic.Int64
+	breakerCloses atomic.Int64
+	hedges        atomic.Int64
+	hedgeWins     atomic.Int64
 }
 
 // New connects to a cluster through one or more seed addresses
@@ -126,13 +194,20 @@ func New(seeds []string, opts ...Option) (*Client, error) {
 		return nil, errors.New("client: no seed addresses")
 	}
 	c := &Client{
-		seeds:      append([]string(nil), seeds...),
-		maxRetries: 20,
-		backoff:    5 * time.Millisecond,
+		seeds:            append([]string(nil), seeds...),
+		maxRetries:       20,
+		backoff:          5 * time.Millisecond,
+		breakerThreshold: 5,
+		breakerCooldown:  200 * time.Millisecond,
+		breakers:         map[string]*breaker{},
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	if c.backoffCap <= 0 {
+		c.backoffCap = 20 * c.backoff
+	}
+	c.rng = seededRNG(c.jitterSeed)
 	if c.httpc == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()
 		tr.MaxIdleConns = 256
@@ -172,6 +247,12 @@ func (c *Client) Stats() Stats {
 		Epoch:             c.Epoch(),
 		WrongShardRetries: c.retries.Load(),
 		MapRefreshes:      c.refreshes.Load(),
+		RetryableErrors:   c.retryableErrs.Load(),
+		TerminalErrors:    c.terminalErrs.Load(),
+		BreakerOpens:      c.breakerOpens.Load(),
+		BreakerCloses:     c.breakerCloses.Load(),
+		HedgedReads:       c.hedges.Load(),
+		HedgeWins:         c.hedgeWins.Load(),
 	}
 }
 
@@ -263,36 +344,58 @@ func decodeEnvelope(resp *http.Response) error {
 	}
 }
 
-// do executes one keyed request with WRONG_SHARD/transport retries. fn
-// builds the request for the currently routed address; handle consumes a
-// 2xx response.
-func (c *Client) do(ctx context.Context, key []byte, build func(addr string) (*http.Request, error), handle func(*http.Response) error) error {
+// do executes one keyed request with WRONG_SHARD/transport retries.
+// build makes the request for the currently routed address; handle
+// consumes a 2xx response; hedge marks the request idempotent and
+// eligible for hedged execution (WithHedgedReads). Retryable failures
+// (transport errors, per-attempt timeouts, open breakers, WRONG_SHARD)
+// back off with full jitter and go again; terminal answers (any other
+// envelope, or the caller's context ending) return immediately.
+func (c *Client) do(ctx context.Context, key []byte, hedge bool, build func(addr string) (*http.Request, error), handle func(*http.Response) error) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries; attempt++ {
 		if attempt > 0 {
-			c.sleep(ctx, attempt)
+			if err := c.sleep(ctx, attempt); err != nil {
+				c.terminalErrs.Add(1)
+				return fmt.Errorf("client: request abandoned after %d attempts: %w", attempt, err)
+			}
 		}
-		addr := c.route(key)
-		req, err := build(addr)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
+			c.terminalErrs.Add(1)
 			return err
 		}
-		if e := c.Epoch(); e > 0 {
-			req.Header.Set(api.HeaderEpoch, strconv.FormatUint(e, 10))
-		}
-		resp, err := c.httpc.Do(req)
-		if err != nil {
-			lastErr = err // node briefly unreachable; retry
+		addr := c.route(key)
+		if !c.breakerFor(addr).allow(time.Now(), c.breakerCooldown) {
+			// The node is believed down: skip dialing it, back off, and
+			// let a half-open probe test it. A retryable non-event, not a
+			// user-visible failure — if the map moves the key elsewhere
+			// meanwhile, the next attempt routes there.
+			c.retryableErrs.Add(1)
+			lastErr = fmt.Errorf("%w (%s)", ErrBreakerOpen, addr)
 			continue
 		}
+		resp, release, err := c.roundTrip(ctx, addr, build, hedge)
+		if err != nil {
+			c.noteTransport(addr, false)
+			if !IsRetryable(err) {
+				c.terminalErrs.Add(1)
+				return err
+			}
+			c.retryableErrs.Add(1)
+			lastErr = err
+			continue
+		}
+		c.noteTransport(addr, true)
 		c.noteEpochHeader(ctx, resp, addr)
 		if resp.StatusCode/100 == 2 {
 			err := handle(resp)
 			resp.Body.Close()
+			release()
 			return err
 		}
 		envErr := decodeEnvelope(resp)
 		resp.Body.Close()
+		release()
 		var env *api.Envelope
 		if errors.As(envErr, &env) && env.Code == api.CodeWrongShard {
 			c.retries.Add(1)
@@ -305,22 +408,28 @@ func (c *Client) do(ctx context.Context, key []byte, build func(addr string) (*h
 			}
 			continue
 		}
+		if env == nil || env.Code != api.CodeNotFound {
+			c.terminalErrs.Add(1) // NOT_FOUND is an answer, not an error
+		}
 		return envErr
 	}
 	return fmt.Errorf("client: retries exhausted for key %q: %w", key, lastErr)
 }
 
-// sleep waits the k-th backoff (k×base, capped at 20×base) or until ctx.
-func (c *Client) sleep(ctx context.Context, attempt int) {
-	d := time.Duration(attempt) * c.backoff
-	if max := 20 * c.backoff; d > max {
-		d = max
+// sleep waits the attempt-th jittered backoff, or returns the caller's
+// context error immediately once it ends — no post-cancel attempts.
+func (c *Client) sleep(ctx context.Context, attempt int) error {
+	d := c.backoffJitter(attempt)
+	if d <= 0 {
+		return ctx.Err()
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
+		return ctx.Err()
 	case <-t.C:
+		return nil
 	}
 }
 
@@ -340,6 +449,9 @@ func (c *Client) noteEpochHeader(ctx context.Context, resp *http.Response, addr 
 	}
 }
 
+// epochHeaderValue renders an epoch for the routing header.
+func epochHeaderValue(e uint64) string { return strconv.FormatUint(e, 10) }
+
 func (c *Client) keyURL(addr string, key []byte) string {
 	return "http://" + addr + "/v1/kv/" + url.PathEscape(string(key))
 }
@@ -351,7 +463,7 @@ func (c *Client) Get(key []byte) (value []byte, ok bool, err error) {
 
 // GetCtx is Get with a context.
 func (c *Client) GetCtx(ctx context.Context, key []byte) (value []byte, ok bool, err error) {
-	err = c.do(ctx, key,
+	err = c.do(ctx, key, true,
 		func(addr string) (*http.Request, error) {
 			return http.NewRequestWithContext(ctx, http.MethodGet, c.keyURL(addr, key), nil)
 		},
@@ -381,7 +493,7 @@ func (c *Client) Put(key, value []byte) error {
 
 // PutCtx is Put with a context.
 func (c *Client) PutCtx(ctx context.Context, key, value []byte) error {
-	return c.do(ctx, key,
+	return c.do(ctx, key, false,
 		func(addr string) (*http.Request, error) {
 			return http.NewRequestWithContext(ctx, http.MethodPut, c.keyURL(addr, key), bytes.NewReader(value))
 		},
@@ -395,7 +507,7 @@ func (c *Client) Delete(key []byte) error {
 
 // DeleteCtx is Delete with a context.
 func (c *Client) DeleteCtx(ctx context.Context, key []byte) error {
-	return c.do(ctx, key,
+	return c.do(ctx, key, false,
 		func(addr string) (*http.Request, error) {
 			return http.NewRequestWithContext(ctx, http.MethodDelete, c.keyURL(addr, key), nil)
 		},
@@ -438,6 +550,9 @@ func (c *Client) ScanCtx(ctx context.Context, start, end []byte, n int) ([]KV, e
 		for _, st := range streams {
 			if st != nil {
 				st.resp.Body.Close()
+				if st.release != nil {
+					st.release()
+				}
 			}
 		}
 	}()
@@ -481,6 +596,7 @@ func (c *Client) ScanCtx(ctx context.Context, start, end []byte, n int) ([]KV, e
 // slices.
 type scanStream struct {
 	resp      *http.Response
+	release   func()                                // cancels the attempt contexts; call after Body.Close
 	pull      func() (key, value []byte, err error) // io.EOF at clean end
 	key       []byte
 	value     []byte
@@ -503,7 +619,9 @@ func (s *scanStream) advance() {
 	s.key, s.value = k, v
 }
 
-// openScan starts one node's scan and primes its first entry.
+// openScan starts one node's scan and primes its first entry. The open
+// is hedged when WithHedgedReads is armed — a scan is an idempotent
+// read, so racing a second open against a slow node is safe.
 func (c *Client) openScan(ctx context.Context, addr string, start, end []byte, n int) (*scanStream, error) {
 	q := url.Values{}
 	q.Set("start", string(start))
@@ -511,23 +629,32 @@ func (c *Client) openScan(ctx context.Context, addr string, start, end []byte, n
 		q.Set("end", string(end))
 	}
 	q.Set("n", strconv.Itoa(n))
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		"http://"+addr+"/v1/scan?"+q.Encode(), nil)
+	build := func(addr string) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			"http://"+addr+"/v1/scan?"+q.Encode(), nil)
+		if err != nil {
+			return nil, err
+		}
+		if c.binary {
+			req.Header.Set("Accept", wire.ContentType)
+		}
+		return req, nil
+	}
+	if !c.breakerFor(addr).allow(time.Now(), c.breakerCooldown) {
+		return nil, fmt.Errorf("%w (%s)", ErrBreakerOpen, addr)
+	}
+	resp, release, err := c.roundTrip(ctx, addr, build, true)
 	if err != nil {
+		c.noteTransport(addr, false)
 		return nil, err
 	}
-	if c.binary {
-		req.Header.Set("Accept", wire.ContentType)
-	}
-	resp, err := c.httpc.Do(req)
-	if err != nil {
-		return nil, err
-	}
+	c.noteTransport(addr, true)
 	if resp.StatusCode != http.StatusOK {
+		defer release()
 		defer resp.Body.Close()
 		return nil, decodeEnvelope(resp)
 	}
-	st := &scanStream{resp: resp}
+	st := &scanStream{resp: resp, release: release}
 	if resp.Header.Get("Content-Type") == wire.ContentType {
 		// Binary entry stream: the decoder's slices are scratch reused
 		// by the next frame, so copy out before handing them upward.
@@ -562,6 +689,7 @@ func (c *Client) openScan(ctx context.Context, addr string, start, end []byte, n
 		dec := json.NewDecoder(resp.Body)
 		if _, err := dec.Token(); err != nil { // opening [
 			resp.Body.Close()
+			release()
 			return nil, err
 		}
 		st.pull = func() ([]byte, []byte, error) {
@@ -584,10 +712,12 @@ func (c *Client) openScan(ctx context.Context, addr string, start, end []byte, n
 
 // Batch applies ops, grouped by owning node and dispatched concurrently.
 // Each node's group is atomic on that node; cross-node batches are not
-// atomic as a whole. On WRONG_SHARD only the rejected groups are
-// re-routed under the refreshed map and retried — a group its node has
-// already acked is never re-sent, so a mixed batch is applied at most
-// once per node even across retries.
+// atomic as a whole. Only failed groups are retried — re-routed under a
+// refreshed map after WRONG_SHARD, re-sent as-is after a transport
+// failure. A group its node has acked is never re-sent; a group whose
+// ack was lost may be re-sent (puts and deletes are idempotent
+// last-write-wins), so each group applies at-least-once and an acked
+// batch is never lost.
 func (c *Client) Batch(ops []Op) error {
 	return c.BatchCtx(context.Background(), ops)
 }
@@ -601,7 +731,14 @@ func (c *Client) BatchCtx(ctx context.Context, ops []Op) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.maxRetries; attempt++ {
 		if attempt > 0 {
-			c.sleep(ctx, attempt)
+			if err := c.sleep(ctx, attempt); err != nil {
+				c.terminalErrs.Add(1)
+				return fmt.Errorf("client: batch abandoned (%d ops unacked): %w", len(pending), err)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			c.terminalErrs.Add(1)
+			return err
 		}
 		groups := map[string][]Op{}
 		for _, op := range pending {
@@ -621,10 +758,13 @@ func (c *Client) BatchCtx(ctx context.Context, ops []Op) error {
 	return fmt.Errorf("client: batch retries exhausted (%d ops unacked): %w", len(pending), lastErr)
 }
 
-// sendGroups posts each node's group concurrently. Groups rejected with
-// WRONG_SHARD come back in retry (their ops, to be re-routed under the
-// map that was already refreshed); any other failure is fatal. Acked
-// groups are consumed here and never returned.
+// sendGroups posts each node's group concurrently. Failed groups come
+// back in retry: WRONG_SHARD groups re-route under the map that was
+// already refreshed; transport-failed groups re-send as-is — the node
+// may or may not have applied them (a dropped ack means it did), and
+// idempotent last-write-wins ops make the re-send safe. Terminal
+// failures (other envelopes, the caller's context ending) are fatal.
+// Acked groups are consumed here and never returned.
 func (c *Client) sendGroups(ctx context.Context, groups map[string][]Op) (retry []Op, retryErr, fatal error) {
 	type result struct {
 		addr string
@@ -651,6 +791,13 @@ func (c *Client) sendGroups(ctx context.Context, groups map[string][]Op) (retry 
 			retryErr = r.err
 			continue
 		}
+		if IsRetryable(r.err) {
+			c.retryableErrs.Add(1)
+			retry = append(retry, r.ops...)
+			retryErr = r.err
+			continue
+		}
+		c.terminalErrs.Add(1)
 		fatal = r.err // keep draining; the channel is buffered
 	}
 	if fatal != nil {
@@ -660,6 +807,9 @@ func (c *Client) sendGroups(ctx context.Context, groups map[string][]Op) (retry 
 }
 
 func (c *Client) postBatch(ctx context.Context, addr string, group []Op) error {
+	if !c.breakerFor(addr).allow(time.Now(), c.breakerCooldown) {
+		return fmt.Errorf("%w (%s)", ErrBreakerOpen, addr)
+	}
 	var body []byte
 	contentType := "application/json"
 	if c.binary {
@@ -699,10 +849,17 @@ func (c *Client) postBatch(ctx context.Context, addr string, group []Op) error {
 		return err
 	}
 	req.Header.Set("Content-Type", contentType)
+	if c.reqTimeout > 0 {
+		actx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+		defer cancel()
+		req = req.WithContext(actx)
+	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
+		c.noteTransport(addr, false)
 		return err
 	}
+	c.noteTransport(addr, true)
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		return decodeEnvelope(resp)

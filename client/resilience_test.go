@@ -1,0 +1,389 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adcache"
+	"adcache/internal/api"
+	"adcache/internal/cluster/chaos"
+	"adcache/internal/server"
+)
+
+// startChaosNode serves a real single-node adcache server on a chaos
+// Listener (so tests can Kill/Restart it), optionally wrapping the
+// handler, and returns the listener and address.
+func startChaosNode(t *testing.T, wrap func(http.Handler) http.Handler) (*chaos.Listener, string) {
+	t.Helper()
+	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := chaos.NewListener(raw)
+	var h http.Handler = server.New(db)
+	if wrap != nil {
+		h = wrap(h)
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	return ln, raw.Addr().String()
+}
+
+func TestIsRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"wrapped-canceled", &chaosWrap{context.Canceled}, false},
+		{"wrong-shard", &api.Envelope{Code: api.CodeWrongShard}, true},
+		{"not-found", &api.Envelope{Code: api.CodeNotFound}, false},
+		{"internal", &api.Envelope{Code: api.CodeInternal}, false},
+		{"breaker-open", ErrBreakerOpen, true},
+		{"transport", errors.New("connection refused"), true},
+		{"injected", &chaos.ErrInjected{Kind: "reset", Dst: "x"}, true},
+	}
+	for _, tc := range cases {
+		if got := IsRetryable(tc.err); got != tc.want {
+			t.Errorf("IsRetryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+type chaosWrap struct{ err error }
+
+func (w *chaosWrap) Error() string { return "wrap: " + w.err.Error() }
+func (w *chaosWrap) Unwrap() error { return w.err }
+
+func TestBackoffJitterBounds(t *testing.T) {
+	c := &Client{backoff: 10 * time.Millisecond, backoffCap: 80 * time.Millisecond, rng: seededRNG(42)}
+	for attempt := 1; attempt <= 10; attempt++ {
+		ceil := c.backoff << (attempt - 1)
+		if ceil > c.backoffCap || ceil <= 0 {
+			ceil = c.backoffCap
+		}
+		for i := 0; i < 100; i++ {
+			d := c.backoffJitter(attempt)
+			if d < 0 || d > ceil {
+				t.Fatalf("attempt %d: jitter %v outside [0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+	// Same seed, same schedule.
+	a := &Client{backoff: time.Millisecond, backoffCap: 20 * time.Millisecond, rng: seededRNG(7)}
+	b := &Client{backoff: time.Millisecond, backoffCap: 20 * time.Millisecond, rng: seededRNG(7)}
+	for i := 1; i < 20; i++ {
+		if da, db := a.backoffJitter(i), b.backoffJitter(i); da != db {
+			t.Fatalf("seeded schedules diverged at draw %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := &breaker{}
+	now := time.Now()
+	cooldown := 100 * time.Millisecond
+
+	// Closed: failures accumulate, threshold opens.
+	for i := 0; i < 2; i++ {
+		if !b.allow(now, cooldown) {
+			t.Fatal("closed breaker denied a request")
+		}
+		opened, _ := b.record(false, 3, now)
+		if opened {
+			t.Fatalf("opened after %d failures, threshold 3", i+1)
+		}
+	}
+	if !b.allow(now, cooldown) {
+		t.Fatal("closed breaker denied a request")
+	}
+	if opened, _ := b.record(false, 3, now); !opened {
+		t.Fatal("did not open at threshold")
+	}
+	// Open: denies until cooldown.
+	if b.allow(now.Add(50*time.Millisecond), cooldown) {
+		t.Fatal("open breaker admitted a request inside cooldown")
+	}
+	// Cooldown over: exactly one half-open probe at a time.
+	probeTime := now.Add(cooldown)
+	if !b.allow(probeTime, cooldown) {
+		t.Fatal("no half-open probe after cooldown")
+	}
+	if b.allow(probeTime, cooldown) {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	// Probe failure re-opens for another cooldown.
+	if opened, _ := b.record(false, 3, probeTime); !opened {
+		t.Fatal("failed probe did not re-open")
+	}
+	if b.allow(probeTime.Add(10*time.Millisecond), cooldown) {
+		t.Fatal("re-opened breaker admitted a request")
+	}
+	// Successful probe closes.
+	probe2 := probeTime.Add(cooldown)
+	if !b.allow(probe2, cooldown) {
+		t.Fatal("no second probe")
+	}
+	if _, closed := b.record(true, 3, probe2); !closed {
+		t.Fatal("successful probe did not close")
+	}
+	if !b.allow(probe2, cooldown) {
+		t.Fatal("closed breaker denied a request")
+	}
+}
+
+// TestBreakerOpensAndRecovers drives the breaker through a real node
+// kill/restart: the breaker must open while the node is dead (and the
+// call fail retryably after the retry budget) and re-close once the node
+// is back.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	ln, addr := startChaosNode(t, nil)
+	c, err := New([]string{addr},
+		WithMaxRetries(6),
+		WithRetryBackoff(2*time.Millisecond),
+		WithBreaker(2, 30*time.Millisecond),
+		WithJitterSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	ln.Kill()
+	if err := c.Put([]byte("k"), []byte("v2")); err == nil {
+		t.Fatal("put succeeded against a killed node")
+	}
+	if got := c.BreakerState(addr); got != "open" {
+		t.Fatalf("breaker state after kill = %q, want open", got)
+	}
+	st := c.Stats()
+	if st.BreakerOpens == 0 || st.RetryableErrors == 0 {
+		t.Fatalf("stats after kill: opens=%d retryable=%d, want both > 0", st.BreakerOpens, st.RetryableErrors)
+	}
+
+	ln.Restart()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err = c.Put([]byte("k"), []byte("v3")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("put never recovered after restart: %v", err)
+		}
+	}
+	if got := c.BreakerState(addr); got != "closed" {
+		t.Fatalf("breaker state after recovery = %q, want closed", got)
+	}
+	if st := c.Stats(); st.BreakerCloses == 0 {
+		t.Fatalf("breaker never recorded a close: %+v", st)
+	}
+	v, ok, err := c.Get([]byte("k"))
+	if err != nil || !ok || string(v) != "v3" {
+		t.Fatalf("readback after recovery = %q %v %v", v, ok, err)
+	}
+}
+
+// TestHedgedReadCutsTail: with hedging armed, a Get whose primary
+// attempt hits a slow path must be rescued by the hedge well before the
+// slow response would have arrived.
+func TestHedgedReadCutsTail(t *testing.T) {
+	var slowGets atomic.Int64
+	slowFirstGet := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodGet && len(r.URL.Path) > len("/v1/kv/") && r.URL.Path[:len("/v1/kv/")] == "/v1/kv/" {
+				if slowGets.Add(1) == 1 {
+					time.Sleep(500 * time.Millisecond)
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	_, addr := startChaosNode(t, slowFirstGet)
+	c, err := New([]string{addr}, WithHedgedReads(25*time.Millisecond), WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := time.Now()
+	v, ok, err := c.Get([]byte("k"))
+	elapsed := time.Since(t0)
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	if elapsed >= 400*time.Millisecond {
+		t.Fatalf("hedged Get took %v — hedge did not rescue the slow primary", elapsed)
+	}
+	st := c.Stats()
+	if st.HedgedReads == 0 || st.HedgeWins == 0 {
+		t.Fatalf("stats: hedges=%d wins=%d, want both > 0", st.HedgedReads, st.HedgeWins)
+	}
+}
+
+// countingRT counts transport attempts so tests can prove the retry
+// loop stops sending after the caller's context ends.
+type countingRT struct {
+	base http.RoundTripper
+	n    atomic.Int64
+}
+
+func (c *countingRT) RoundTrip(r *http.Request) (*http.Response, error) {
+	c.n.Add(1)
+	return c.base.RoundTrip(r)
+}
+
+// TestCancelStopsRetriesPromptly is the context-propagation regression
+// test: once the caller's context ends, the retry loop must exit on the
+// next iteration — no burning the remaining (huge) retry budget with
+// zero-length sleeps and post-cancel sends.
+func TestCancelStopsRetriesPromptly(t *testing.T) {
+	ln, addr := startChaosNode(t, nil)
+	rt := &countingRT{base: http.DefaultTransport}
+	c, err := New([]string{addr},
+		WithHTTPClient(&http.Client{Transport: rt}),
+		WithMaxRetries(100000),
+		WithRetryBackoff(time.Millisecond),
+		WithJitterSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	ln.Kill()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	err = c.PutCtx(ctx, []byte("k"), []byte("v2"))
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("put succeeded against a killed node")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded in the chain", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("PutCtx held %v past a 60ms deadline", elapsed)
+	}
+	attempts := rt.n.Load()
+	if attempts > 100 {
+		t.Fatalf("%d transport attempts for a 60ms deadline — retries ran past cancellation", attempts)
+	}
+	// And the same for a batch.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel2()
+	before := rt.n.Load()
+	err = c.BatchCtx(ctx2, []Op{{Kind: OpPut, Key: []byte("k"), Value: []byte("v3")}})
+	if err == nil {
+		t.Fatal("batch succeeded against a killed node")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("batch error = %v, want context.DeadlineExceeded in the chain", err)
+	}
+	if sent := rt.n.Load() - before; sent > 100 {
+		t.Fatalf("%d batch transport attempts for a 60ms deadline", sent)
+	}
+}
+
+// TestScanCancelNoGoroutineLeak: cancelling a scan mid-fan-out (one
+// node's open hung on injected latency) must return promptly and leave
+// no goroutines behind.
+func TestScanCancelNoGoroutineLeak(t *testing.T) {
+	addrs, _, dbs, m := twoNodeCluster(t)
+	if err := dbs["a"].Put([]byte(keyForSlot(t, 0, m.Shards)), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	table := chaos.NewTable(11)
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	c, err := New([]string{addrs["a"]},
+		WithHTTPClient(&http.Client{Transport: &chaos.Transport{Base: tr, Table: table, Source: "cli"}}),
+		WithJitterSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	before := runtime.NumGoroutine()
+	table.Set(addrs["b"], chaos.Rule{Latency: 30 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	if _, err := c.ScanCtx(ctx, nil, nil, 100); err == nil {
+		t.Fatal("scan succeeded with one node hung past the deadline")
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("scan held %v past a 50ms deadline", elapsed)
+	}
+	table.Heal()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines: %d before scan, %d after cancel — leak", before, g)
+	}
+}
+
+// TestBatchResendsAfterDroppedAck: a batch whose ack is dropped after
+// the server committed must be re-sent (at-least-once) and succeed once
+// the network heals — never reported lost, never fatal.
+func TestBatchResendsAfterDroppedAck(t *testing.T) {
+	_, addr := startChaosNode(t, nil)
+	table := chaos.NewTable(5)
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	c, err := New([]string{addr},
+		WithHTTPClient(&http.Client{Transport: &chaos.Transport{Base: tr, Table: table, Source: "cli"}}),
+		WithMaxRetries(200),
+		WithRetryBackoff(2*time.Millisecond),
+		WithBreaker(5, 20*time.Millisecond),
+		WithJitterSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	table.Set(addr, chaos.Rule{DropResponseProb: 1})
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Batch([]Op{{Kind: OpPut, Key: []byte("bk"), Value: []byte("bv")}})
+	}()
+	time.Sleep(40 * time.Millisecond)
+	table.Heal()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("batch failed despite heal: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch never completed after heal")
+	}
+	v, ok, err := c.Get([]byte("bk"))
+	if err != nil || !ok || string(v) != "bv" {
+		t.Fatalf("readback = %q %v %v", v, ok, err)
+	}
+	if st := c.Stats(); st.RetryableErrors == 0 {
+		t.Fatalf("no retryable errors recorded across dropped acks: %+v", st)
+	}
+}

@@ -101,10 +101,23 @@ func main() {
 		clusterB = flag.Bool("cluster", false, "run the 3-node cluster benchmark (fleet p99 before/after a latency-driven rebalance)")
 		wireB    = flag.Bool("wire", false, "run the data-plane benchmark (JSON vs binary codec vs codec+write-coalescing over real HTTP)")
 		memB     = flag.Bool("memory", false, "run the unified-memory benchmark (RL-arbitrated budget vs static memtable/cache splits over a three-phase schedule)")
-		asJSON   = flag.Bool("json", false, "with -readpath, -compaction, -disk, -cluster, -wire or -memory, write results as JSON")
-		out      = flag.String("out", "", "with -json, output file (default BENCH_READPATH.json / BENCH_COMPACTION.json / BENCH_DISK.json / BENCH_CLUSTER.json / BENCH_WIRE.json / BENCH_MEMORY.json)")
+		chaosB   = flag.Bool("chaos", false, "run the chaos benchmark (3-node fleet + manager under a seeded fault timeline, held to hard resilience gates)")
+		asJSON   = flag.Bool("json", false, "with -readpath, -compaction, -disk, -cluster, -wire, -memory or -chaos, write results as JSON")
+		out      = flag.String("out", "", "with -json, output file (default BENCH_READPATH.json / BENCH_COMPACTION.json / BENCH_DISK.json / BENCH_CLUSTER.json / BENCH_WIRE.json / BENCH_MEMORY.json / BENCH_CHAOS.json)")
 	)
 	flag.Parse()
+
+	if *chaosB {
+		path := *out
+		if path == "" {
+			path = "BENCH_CHAOS.json"
+		}
+		if err := runChaosBench(*seed, *asJSON, path); err != nil {
+			fmt.Fprintln(os.Stderr, "adbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *memB {
 		path := *out

@@ -29,12 +29,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"adcache"
@@ -57,6 +60,8 @@ func main() {
 		coalesce   = flag.Bool("coalesce", false, "coalesce concurrent writes (singles and batches) into grouped commits")
 		coalWindow = flag.Duration("coalesce-window", 100*time.Microsecond, "max extra latency a write waits to join a group (0 = group only already-queued writes)")
 		coalOps    = flag.Int("coalesce-ops", 128, "max ops per coalesced group")
+
+		drainWait = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM before forcing shutdown")
 
 		pprofOn   = flag.Bool("pprof", false, "serve profiling endpoints under /debug/pprof/")
 		mutexFrac = flag.Int("mutexprofilefraction", 0, "runtime.SetMutexProfileFraction for /debug/pprof/mutex (0 = off)")
@@ -87,9 +92,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer db.Close()
 
-	opts := []server.Option{}
+	drain := &server.DrainState{}
+	opts := []server.Option{server.WithDrainState(drain)}
 	if *readonly {
 		opts = append(opts, server.WithReadOnly())
 	}
@@ -156,11 +161,38 @@ func main() {
 	}
 	fmt.Printf("adcached: serving %s (%s strategy, %d MiB cache, %s) on %s\n",
 		*dir, db.Strategy(), *cache>>20, mode, *addr)
-	fmt.Printf("adcached: API under %s/v1/ (legacy aliases deprecated); observability at %s/v1/stats, %s/metrics, %s/debug/vars\n",
-		*addr, *addr, *addr, *addr)
-	if err := http.ListenAndServe(*addr, server.New(db, opts...)); err != nil {
+	fmt.Printf("adcached: API under %s/v1/ (legacy aliases deprecated); observability at %s/v1/stats, %s/v1/health, %s/metrics, %s/debug/vars\n",
+		*addr, *addr, *addr, *addr, *addr)
+
+	// Graceful shutdown: on SIGINT/SIGTERM flip /v1/health to draining
+	// (503 readiness, so balancers and the shard manager stop sending new
+	// work), stop accepting, let in-flight requests finish up to
+	// -drain-timeout, then close the DB cleanly — every acked write is on
+	// disk before the process exits.
+	hs := &http.Server{Addr: *addr, Handler: server.New(db, opts...)}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		fmt.Printf("adcached: %s: draining (up to %s) before shutdown\n", s, *drainWait)
+		drain.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "adcached: drain deadline exceeded, forcing close:", err)
+			hs.Close()
+		}
+	}()
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	<-drained
+	if err := db.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("adcached: clean shutdown")
 }
 
 func fatal(err error) {

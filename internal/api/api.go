@@ -122,6 +122,24 @@ type BudgetStat struct {
 	ActualBytes int64  `json:"actual_bytes"`
 }
 
+// Health is the /v1/health response. Liveness (the process answers at
+// all) is the 200 on `?probe=live`; readiness is the HTTP status of the
+// plain GET — 200 when the node should receive traffic, 503 when it is
+// draining for shutdown or its engine has degraded to read-only.
+type Health struct {
+	// Status is "ok" when ready, else "draining" or "degraded".
+	Status string `json:"status"`
+	// BgState mirrors the engine error-handler state: "healthy",
+	// "retrying" (background errors being retried; still ready) or
+	// "read-only" (writes fail fast until an operator resumes).
+	BgState string `json:"bg_state"`
+	// Draining is true once graceful shutdown has begun.
+	Draining bool `json:"draining,omitempty"`
+	// Node and Epoch identify the responder (cluster mode only).
+	Node  string `json:"node,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
 // ShardStats is the /v1/shardstats response.
 type ShardStats struct {
 	Node   string      `json:"node"`

@@ -1,0 +1,260 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startServer serves a counting handler on a chaos Listener and returns
+// the listener, its address, and the served-request counter.
+func startServer(t *testing.T) (*Listener, string, *atomic.Int64) {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := NewListener(raw)
+	var served atomic.Int64
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.WriteString(w, "ok")
+	})}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln, raw.Addr().String(), &served
+}
+
+func newClient(table *Table, source string) *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	return &http.Client{
+		Transport: &Transport{Base: tr, Table: table, Source: source},
+		Timeout:   5 * time.Second,
+	}
+}
+
+func get(c *http.Client, addr string) error {
+	resp, err := c.Get("http://" + addr + "/")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	_, addr, served := startServer(t)
+	table := NewTable(1)
+	c := newClient(table, "cli")
+
+	if err := get(c, addr); err != nil {
+		t.Fatalf("healthy get: %v", err)
+	}
+	table.Set(addr, Rule{Partition: true})
+	err := get(c, addr)
+	var inj *ErrInjected
+	if !errors.As(err, &inj) || inj.Kind != "partition" {
+		t.Fatalf("partitioned get: %v, want injected partition", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("server saw %d requests during partition, want 1", served.Load())
+	}
+	table.Heal()
+	if err := get(c, addr); err != nil {
+		t.Fatalf("healed get: %v", err)
+	}
+}
+
+func TestOneWayPartition(t *testing.T) {
+	_, addr, _ := startServer(t)
+	table := NewTable(2)
+	table.SetPair("a", addr, Rule{Partition: true})
+	ca, cb := newClient(table, "a"), newClient(table, "b")
+
+	if err := get(ca, addr); err == nil {
+		t.Fatal("a→server should be partitioned")
+	}
+	if err := get(cb, addr); err != nil {
+		t.Fatalf("b→server should pass: %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	_, addr, _ := startServer(t)
+	table := NewTable(3)
+	table.Set(addr, Rule{Latency: 50 * time.Millisecond})
+	c := newClient(table, "cli")
+
+	t0 := time.Now()
+	if err := get(c, addr); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Fatalf("request took %v, want >= 50ms of injected latency", d)
+	}
+}
+
+// TestLatencyRespectsContext: a delayed request must abort at its
+// context deadline, not sleep the full injected latency.
+func TestLatencyRespectsContext(t *testing.T) {
+	_, addr, _ := startServer(t)
+	table := NewTable(4)
+	table.Set(addr, Rule{Latency: 10 * time.Second})
+	c := newClient(table, "cli")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/", nil)
+	t0 := time.Now()
+	_, err := c.Do(req)
+	if err == nil {
+		t.Fatal("expected context deadline error")
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("request held %v past its deadline", d)
+	}
+}
+
+// TestDropResponseAfterCommit: the server must process the request (the
+// write committed) while the caller sees a failure — the fault that
+// separates "request lost" from "ack lost".
+func TestDropResponseAfterCommit(t *testing.T) {
+	_, addr, served := startServer(t)
+	table := NewTable(5)
+	table.Set(addr, Rule{DropResponseProb: 1})
+	c := newClient(table, "cli")
+
+	err := get(c, addr)
+	var inj *ErrInjected
+	if !errors.As(err, &inj) || inj.Kind != "drop-response" {
+		t.Fatalf("got %v, want injected drop-response", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("server served %d, want 1 (request must reach it)", served.Load())
+	}
+}
+
+// TestResetBeforeSend: the server must NOT see a reset request.
+func TestResetBeforeSend(t *testing.T) {
+	_, addr, served := startServer(t)
+	table := NewTable(6)
+	table.Set(addr, Rule{ResetProb: 1})
+	c := newClient(table, "cli")
+
+	err := get(c, addr)
+	var inj *ErrInjected
+	if !errors.As(err, &inj) || inj.Kind != "reset" {
+		t.Fatalf("got %v, want injected reset", err)
+	}
+	if served.Load() != 0 {
+		t.Fatalf("server served %d, want 0 (reset drops the request)", served.Load())
+	}
+}
+
+// TestDeterministicDecisions: same seed and decision order → same fault
+// sequence.
+func TestDeterministicDecisions(t *testing.T) {
+	draw := func(seed int64) []bool {
+		table := NewTable(seed)
+		table.Set("x", Rule{ResetProb: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = table.decide("", "x").reset
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged under identical seeds", i)
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-decision sequences")
+	}
+}
+
+// TestKillRestart: killed nodes refuse new connections and sever pooled
+// keep-alives; restart brings the same server (and its data) back.
+func TestKillRestart(t *testing.T) {
+	ln, addr, served := startServer(t)
+	c := newClient(nil, "cli")
+
+	if err := get(c, addr); err != nil {
+		t.Fatalf("before kill: %v", err)
+	}
+	ln.Kill()
+	if err := get(c, addr); err == nil {
+		t.Fatal("get succeeded against a killed node (pooled conn survived?)")
+	}
+	ln.Restart()
+	// The transport may need a retry to evict a stale pooled conn.
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = get(c, addr); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("after restart: %v", err)
+	}
+	if served.Load() < 2 {
+		t.Fatalf("served %d, want >= 2", served.Load())
+	}
+}
+
+func TestScriptRunsPhasesInOrder(t *testing.T) {
+	var phases []string
+	var entered []string
+	s := &Script{
+		Steps: []Step{
+			{Name: "healthy", Duration: time.Millisecond, Enter: func() { entered = append(entered, "healthy") }},
+			{Name: "partition", Duration: time.Millisecond, Enter: func() { entered = append(entered, "partition") }},
+			{Name: "heal"},
+		},
+		OnPhase: func(n string) { phases = append(phases, n) },
+	}
+	s.Run(context.Background())
+	want := []string{"healthy", "partition", "heal"}
+	if fmt.Sprint(phases) != fmt.Sprint(want) {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	if fmt.Sprint(entered) != fmt.Sprint(want[:2]) {
+		t.Fatalf("entered = %v, want %v", entered, want[:2])
+	}
+}
+
+func TestScriptStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	s := &Script{Steps: []Step{
+		{Name: "one", Duration: time.Hour, Enter: func() { ran++ }},
+		{Name: "two", Enter: func() { ran++ }},
+	}}
+	done := make(chan struct{})
+	go func() { s.Run(ctx); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("script did not stop on cancelled context")
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d steps, want 1 (cancel lands during the first hold)", ran)
+	}
+}

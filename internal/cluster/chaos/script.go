@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"context"
+	"time"
+)
+
+// Step is one phase of a scripted chaos scenario: Enter flips fault rules
+// (table rules, listener kills) and the phase holds for Duration before
+// the next step's Enter runs. Steps run strictly in order, so a scenario
+// reads top-to-bottom like a timeline.
+type Step struct {
+	// Name labels the phase in logs and phase-tagged measurements.
+	Name string
+	// Duration is how long the phase holds (0 = apply and move on).
+	Duration time.Duration
+	// Enter applies this phase's faults. May be nil (a pure wait).
+	Enter func()
+}
+
+// Script is an ordered fault timeline over a shared Table and any number
+// of Listeners. It does not itself know about either — each Step's Enter
+// closure flips whatever state the scenario needs — the script only owns
+// sequencing, timing, and phase visibility.
+type Script struct {
+	Steps []Step
+	// Logf, when set, receives one line per phase transition.
+	Logf func(format string, args ...any)
+	// OnPhase, when set, is called with each phase's name as it starts —
+	// the hook measurement loops use to tag samples by phase.
+	OnPhase func(name string)
+}
+
+// Run plays the script: for each step, Enter then hold Duration. Returns
+// early (after completing the current step's Enter) if ctx is cancelled
+// during a hold. Total wall time is the sum of durations, so a seeded
+// scenario is time-shaped the same on every run.
+func (s *Script) Run(ctx context.Context) {
+	for _, st := range s.Steps {
+		if s.Logf != nil {
+			s.Logf("chaos: phase %q (%s)", st.Name, st.Duration)
+		}
+		if st.Enter != nil {
+			st.Enter()
+		}
+		if s.OnPhase != nil {
+			s.OnPhase(st.Name)
+		}
+		if st.Duration <= 0 {
+			continue
+		}
+		t := time.NewTimer(st.Duration)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -37,6 +37,14 @@ type ManagerOptions struct {
 	Cooldown time.Duration
 	// HTTPTimeout bounds each control RPC (default 10s).
 	HTTPTimeout time.Duration
+	// ProbeTimeout bounds a node health probe (default 2s — probes must
+	// answer fast or the node counts as dead for this cycle).
+	ProbeTimeout time.Duration
+	// CopyDeadline bounds a move's whole copy phase (fetch + chunk loads
+	// + destination publish; default 60s). A copy stalled past it — a
+	// browning-out source trickling data, a destination hanging — aborts
+	// the move and reverts, instead of fencing the slot indefinitely.
+	CopyDeadline time.Duration
 	// MigrateChunk is the number of entries per bulk-load request during a
 	// shard copy (default 1024).
 	MigrateChunk int
@@ -68,6 +76,12 @@ func (o *ManagerOptions) defaults() {
 	if o.HTTPTimeout <= 0 {
 		o.HTTPTimeout = 10 * time.Second
 	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.CopyDeadline <= 0 {
+		o.CopyDeadline = 60 * time.Second
+	}
 	if o.MigrateChunk <= 0 {
 		o.MigrateChunk = 1024
 	}
@@ -91,6 +105,7 @@ type Manager struct {
 	prev     map[string][]api.ShardStat // node ID → last cumulative poll
 	lastMove time.Time
 	moves    int
+	reverts  int
 }
 
 // NewManager returns a manager starting from m (typically InitialMap).
@@ -119,6 +134,14 @@ func (mg *Manager) Moves() int {
 	mg.mu.Lock()
 	defer mg.mu.Unlock()
 	return mg.moves
+}
+
+// Reverts returns the number of moves that failed after their fence and
+// were rolled forward to a revert map.
+func (mg *Manager) Reverts() int {
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	return mg.reverts
 }
 
 func (mg *Manager) logf(format string, args ...any) {
@@ -201,6 +224,12 @@ func subSnap(cur, prev metrics.HistogramSnapshot) metrics.HistogramSnapshot {
 // RebalanceOnce performs one poll-decide-move cycle. It returns whether a
 // shard was moved. The first poll after start (or after a node restart)
 // only establishes baselines.
+//
+// An unreachable node does not halt the cycle: it is dropped from this
+// window (its baseline is discarded so a restarted node re-baselines
+// instead of diffing against pre-crash counters), and no move can select
+// it as source or destination — a dead node pauses migrations touching
+// it while the rest of the fleet keeps rebalancing.
 func (mg *Manager) RebalanceOnce(ctx context.Context) (bool, error) {
 	mg.mu.Lock()
 	cur := mg.cur
@@ -213,7 +242,11 @@ func (mg *Manager) RebalanceOnce(ctx context.Context) (bool, error) {
 	for _, n := range cur.Nodes {
 		var st api.ShardStats
 		if err := mg.getJSON(ctx, n.Addr, "/v1/shardstats", &st); err != nil {
-			return false, fmt.Errorf("poll %s: %w", n.ID, err)
+			mg.logf("cluster-manager: poll %s: %v (skipping this window)", n.ID, err)
+			mg.mu.Lock()
+			delete(mg.prev, n.ID)
+			mg.mu.Unlock()
+			continue
 		}
 		w := &nodeWindow{node: n, shard: map[int]int64{}, p99r: map[int]float64{}}
 		mg.mu.Lock()
@@ -291,6 +324,27 @@ func (mg *Manager) RebalanceOnce(ctx context.Context) (bool, error) {
 	return true, nil
 }
 
+// probeReady reports whether the node at addr answers /v1/health with
+// 200 within ProbeTimeout — alive, not draining, not degraded.
+func (mg *Manager) probeReady(ctx context.Context, addr string) error {
+	pctx, cancel := context.WithTimeout(ctx, mg.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, "http://"+addr+"/v1/health", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := mg.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("health: %s", resp.Status)
+	}
+	return nil
+}
+
 // MoveShard migrates one slot to node to and publishes the new epoch
 // fleet-wide. The ordering is the consistency contract:
 //
@@ -336,6 +390,17 @@ func (mg *Manager) MoveShard(ctx context.Context, shard int, to string) error {
 		return err
 	}
 
+	// 0. Probe both ends before fencing anything: a dead or draining
+	// destination would doom the copy *after* the fence made the slot
+	// unavailable, forcing a revert epoch. Probing first turns that into
+	// a free abort — nothing has changed fleet-wide yet.
+	if err := mg.probeReady(ctx, dest.Addr); err != nil {
+		return fmt.Errorf("destination %s not ready, move aborted: %w", dest.ID, err)
+	}
+	if err := mg.probeReady(ctx, from.Addr); err != nil {
+		return fmt.Errorf("source %s not ready, move aborted: %w", from.ID, err)
+	}
+
 	// 1. Fence the old owner. Until this succeeds nothing has changed
 	// fleet-wide, so a failure simply aborts the move.
 	if err := mg.postMap(ctx, from.Addr, next); err != nil {
@@ -347,8 +412,13 @@ func (mg *Manager) MoveShard(ctx context.Context, shard int, to string) error {
 		mg.revertMove(ctx, next, shard, from.ID)
 		return cause
 	}
-	// 2. Copy the slot.
-	entries, err := mg.fetchShard(ctx, from.Addr, shard)
+	// 2. Copy the slot, the whole phase (fetch, chunk loads, destination
+	// publish) bounded by CopyDeadline: a copy that stalls past it — the
+	// source browning out mid-stream, the destination hanging on a load —
+	// aborts and reverts instead of holding the slot fenced indefinitely.
+	cctx, cancelCopy := context.WithTimeout(ctx, mg.opts.CopyDeadline)
+	defer cancelCopy()
+	entries, err := mg.fetchShard(cctx, from.Addr, shard)
 	if err != nil {
 		return fail(fmt.Errorf("fetch shard %d from %s: %w", shard, from.ID, err))
 	}
@@ -357,13 +427,13 @@ func (mg *Manager) MoveShard(ctx context.Context, shard int, to string) error {
 		if end > len(entries) {
 			end = len(entries)
 		}
-		if err := mg.postChunk(ctx, dest.Addr, shard, entries[off:end]); err != nil {
+		if err := mg.postChunk(cctx, dest.Addr, shard, entries[off:end]); err != nil {
 			return fail(fmt.Errorf("load shard %d into %s: %w", shard, dest.ID, err))
 		}
 	}
 	// 3. Publish fleet-wide, destination first so retried client requests
 	// land on a node that already owns the slot.
-	if err := mg.postMap(ctx, dest.Addr, next); err != nil {
+	if err := mg.postMap(cctx, dest.Addr, next); err != nil {
 		return fail(fmt.Errorf("publish to %s: %w", dest.ID, err))
 	}
 	for _, n := range next.Nodes {
@@ -397,6 +467,12 @@ func (mg *Manager) MoveShard(ctx context.Context, shard int, to string) error {
 // strictly last. Publishing is best-effort per node; stragglers converge
 // on the next publish or via response headers. The manager's own map
 // always advances, so its next move uses a fresh epoch.
+//
+// A reverted move ticks the cooldown clock exactly once, here — the
+// success path ticks it in MoveShard, never both. Without this, a
+// persistently failing move would retry every poll interval, burning an
+// epoch (fence + revert) each time; with it, failed moves pace
+// themselves exactly like successful ones.
 func (mg *Manager) revertMove(ctx context.Context, failed *ShardMap, shard int, fromID string) {
 	revert, err := failed.WithMove(shard, fromID)
 	if err != nil {
@@ -410,6 +486,8 @@ func (mg *Manager) revertMove(ctx context.Context, failed *ShardMap, shard int, 
 	}
 	mg.mu.Lock()
 	mg.cur = revert
+	mg.lastMove = time.Now()
+	mg.reverts++
 	mg.mu.Unlock()
 	mg.logf("cluster-manager: move of shard %d aborted; reverted to %s at epoch %d",
 		shard, fromID, revert.Epoch)

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"adcache/internal/api"
 	"adcache/internal/metrics"
@@ -20,12 +21,14 @@ type fakeNode struct {
 	id  string
 	srv *httptest.Server
 
-	mu         sync.Mutex
-	stats      api.ShardStats
-	view       *ShardMap
-	log        *callLog
-	data       []api.MigrateEntry
-	failExport bool
+	mu          sync.Mutex
+	stats       api.ShardStats
+	view        *ShardMap
+	log         *callLog
+	data        []api.MigrateEntry
+	failExport  bool
+	notReady    bool          // answer /v1/health with 503, like a draining node
+	exportDelay time.Duration // stall /v1/migrate exports, like a browning-out source
 }
 
 type callLog struct {
@@ -48,9 +51,27 @@ func (l *callLog) all() []string {
 func newFakeNode(t *testing.T, id string, log *callLog) *fakeNode {
 	f := &fakeNode{id: id, log: log}
 	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/migrate" && r.Method == http.MethodGet {
+			f.mu.Lock()
+			d := f.exportDelay
+			f.mu.Unlock()
+			if d > 0 {
+				select {
+				case <-time.After(d):
+				case <-r.Context().Done():
+					return // caller gave up (copy deadline)
+				}
+			}
+		}
 		f.mu.Lock()
 		defer f.mu.Unlock()
 		switch {
+		case r.URL.Path == "/v1/health":
+			if f.notReady {
+				http.Error(w, `{"status":"draining"}`, http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprint(w, `{"status":"ok"}`)
 		case r.URL.Path == "/v1/shardstats":
 			json.NewEncoder(w).Encode(f.stats)
 		case r.URL.Path == "/v1/shardmap" && r.Method == http.MethodGet:

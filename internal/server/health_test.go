@@ -1,0 +1,66 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"adcache"
+	"adcache/internal/api"
+)
+
+func getHealth(t *testing.T, url string) (int, api.Health) {
+	t.Helper()
+	resp, body := do(t, http.MethodGet, url, "")
+	var h api.Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("health body %q: %v", body, err)
+	}
+	return resp.StatusCode, h
+}
+
+func TestHealthReadyAndLive(t *testing.T) {
+	srv, _ := testServer(t)
+	code, h := getHealth(t, srv.URL+"/v1/health")
+	if code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("ready health = %d %+v, want 200 ok", code, h)
+	}
+	if h.BgState != "healthy" {
+		t.Fatalf("bg_state = %q, want healthy", h.BgState)
+	}
+	if code, _ := getHealth(t, srv.URL+"/v1/health?probe=live"); code != http.StatusOK {
+		t.Fatalf("liveness = %d, want 200", code)
+	}
+	resp, body := do(t, http.MethodPost, srv.URL+"/v1/health", "")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST health = %d (%s), want 405", resp.StatusCode, body)
+	}
+}
+
+func TestHealthDraining(t *testing.T) {
+	db, err := adcache.Open(adcache.Options{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &DrainState{}
+	srv := httptest.NewServer(New(db, WithDrainState(ds)))
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+
+	if code, _ := getHealth(t, srv.URL+"/v1/health"); code != http.StatusOK {
+		t.Fatalf("pre-drain readiness = %d, want 200", code)
+	}
+	ds.StartDrain()
+	code, h := getHealth(t, srv.URL+"/v1/health")
+	if code != http.StatusServiceUnavailable || h.Status != "draining" || !h.Draining {
+		t.Fatalf("draining health = %d %+v, want 503 draining", code, h)
+	}
+	// Liveness stays green while draining: the process is up and must
+	// not be restarted mid-drain.
+	if code, _ := getHealth(t, srv.URL+"/v1/health?probe=live"); code != http.StatusOK {
+		t.Fatalf("draining liveness = %d, want 200", code)
+	}
+}

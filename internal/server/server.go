@@ -101,6 +101,7 @@ type config struct {
 	coalesce      bool
 	coalWindow    time.Duration
 	coalMaxOps    int
+	drain         *DrainState
 }
 
 // Option configures New.
@@ -233,6 +234,7 @@ func New(db *adcache.DB, opts ...Option) http.Handler {
 	mux.HandleFunc("/v1/shardmap", s.handleShardMap)
 	mux.HandleFunc("/v1/shardstats", s.handleShardStats)
 	mux.HandleFunc("/v1/migrate", s.handleMigrate)
+	mux.HandleFunc("/v1/health", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleDebugVars)
 	if cfg.pprof {
@@ -344,6 +346,7 @@ const (
 	routeShardMap
 	routeShardStats
 	routeMigrate
+	routeHealth
 	routeMetrics
 	routeDebug
 	routeOther
@@ -351,7 +354,7 @@ const (
 )
 
 var routeNames = [nRoutes]string{
-	"kv", "scan", "batch", "stats", "shardmap", "shardstats", "migrate", "metrics", "debug", "other",
+	"kv", "scan", "batch", "stats", "shardmap", "shardstats", "migrate", "health", "metrics", "debug", "other",
 }
 
 func routeOf(path string) routeID {
@@ -371,6 +374,8 @@ func routeOf(path string) routeID {
 		return routeShardStats
 	case path == "/migrate":
 		return routeMigrate
+	case path == "/health":
+		return routeHealth
 	case path == "/metrics":
 		return routeMetrics
 	case strings.HasPrefix(path, "/debug/"):
