@@ -78,8 +78,9 @@ type Stats struct {
 	// errors, per-attempt timeouts, open breakers — and were retried.
 	RetryableErrors int64
 	// TerminalErrors counts calls that ended in a terminal error (an
-	// envelope other than WRONG_SHARD/NOT_FOUND, or the caller's context
-	// ending).
+	// envelope other than WRONG_SHARD/NOT_FOUND, the caller's context
+	// ending, or a response body that died mid-read once the caller's
+	// context was already gone).
 	TerminalErrors int64
 	// BreakerOpens and BreakerCloses count per-node circuit-breaker
 	// transitions; a close after an open is the recovery signal chaos
@@ -376,7 +377,15 @@ func (c *Client) do(ctx context.Context, key []byte, hedge bool, build func(addr
 		}
 		resp, release, err := c.roundTrip(ctx, addr, build, hedge)
 		if err != nil {
-			c.noteTransport(addr, false)
+			if ctx.Err() == nil {
+				c.noteTransport(addr, false)
+			} else {
+				// The caller's context ended mid-attempt: that says
+				// nothing about the node's health, so release any probe
+				// slot without charging the breaker — repeated short
+				// caller deadlines must not open it.
+				c.breakerFor(addr).abandonProbe()
+			}
 			if !IsRetryable(err) {
 				c.terminalErrs.Add(1)
 				return err
@@ -388,10 +397,25 @@ func (c *Client) do(ctx context.Context, key []byte, hedge bool, build func(addr
 		c.noteTransport(addr, true)
 		c.noteEpochHeader(ctx, resp, addr)
 		if resp.StatusCode/100 == 2 {
-			err := handle(resp)
+			herr := handle(resp)
 			resp.Body.Close()
 			release()
-			return err
+			if herr == nil {
+				return nil
+			}
+			// A 2xx whose body died mid-read (connection reset,
+			// truncated stream, the attempt deadline firing while
+			// streaming) is a transport-class failure, not an answer:
+			// retry idempotent reads; writes never error in handle, so
+			// the terminal path below is reached only once the caller's
+			// own context has ended.
+			if hedge && ctx.Err() == nil {
+				c.retryableErrs.Add(1)
+				lastErr = herr
+				continue
+			}
+			c.terminalErrs.Add(1)
+			return herr
 		}
 		envErr := decodeEnvelope(resp)
 		resp.Body.Close()
@@ -645,7 +669,12 @@ func (c *Client) openScan(ctx context.Context, addr string, start, end []byte, n
 	}
 	resp, release, err := c.roundTrip(ctx, addr, build, true)
 	if err != nil {
-		c.noteTransport(addr, false)
+		if ctx.Err() == nil {
+			c.noteTransport(addr, false)
+		} else {
+			// Caller (or sibling-stream) cancellation, not node health.
+			c.breakerFor(addr).abandonProbe()
+		}
 		return nil, err
 	}
 	c.noteTransport(addr, true)
@@ -807,9 +836,6 @@ func (c *Client) sendGroups(ctx context.Context, groups map[string][]Op) (retry 
 }
 
 func (c *Client) postBatch(ctx context.Context, addr string, group []Op) error {
-	if !c.breakerFor(addr).allow(time.Now(), c.breakerCooldown) {
-		return fmt.Errorf("%w (%s)", ErrBreakerOpen, addr)
-	}
 	var body []byte
 	contentType := "application/json"
 	if c.binary {
@@ -849,14 +875,30 @@ func (c *Client) postBatch(ctx context.Context, addr string, group []Op) error {
 		return err
 	}
 	req.Header.Set("Content-Type", contentType)
+	actx := ctx
 	if c.reqTimeout > 0 {
-		actx, cancel := context.WithTimeout(ctx, c.reqTimeout)
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.reqTimeout)
 		defer cancel()
 		req = req.WithContext(actx)
 	}
+	// The breaker check sits immediately before the dial so that every
+	// path past a successful allow() reports an outcome — an early
+	// return between allow() and Do would strand a half-open probe slot
+	// and permanently blacklist the node.
+	if !c.breakerFor(addr).allow(time.Now(), c.breakerCooldown) {
+		return fmt.Errorf("%w (%s)", ErrBreakerOpen, addr)
+	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		c.noteTransport(addr, false)
+		if actx.Err() != nil && ctx.Err() == nil {
+			err = fmt.Errorf("%w: %w", ErrAttemptTimeout, err)
+		}
+		if ctx.Err() == nil {
+			c.noteTransport(addr, false)
+		} else {
+			c.breakerFor(addr).abandonProbe()
+		}
 		return err
 	}
 	c.noteTransport(addr, true)

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -25,16 +26,32 @@ import (
 // the retry budget.
 var ErrBreakerOpen = errors.New("client: circuit breaker open")
 
+// ErrAttemptTimeout marks a request ended by the per-attempt deadline
+// (WithRequestTimeout) while the caller's own context was still live.
+// The raw failure wraps the *attempt* context's DeadlineExceeded —
+// indistinguishable by errors.Is from the caller's deadline ending, which
+// is terminal — so roundTrip/postBatch tag it with this sentinel at the
+// only place the two contexts can be told apart. It is retryable by
+// definition: the whole point of a per-attempt timeout is that a hung
+// node costs one attempt's budget, not the call.
+var ErrAttemptTimeout = errors.New("client: per-attempt timeout")
+
 // IsRetryable classifies a client-visible failure: true for failures that
-// can heal on their own (transport errors, timeouts, an open breaker, and
-// WRONG_SHARD — a map refresh away from succeeding), false for terminal
-// answers from a live node (NOT_FOUND, BAD_*, INTERNAL, ...) and for the
-// caller's own context ending. The client's retry loops use exactly this
-// predicate, so a caller inspecting a returned error sees the same
-// taxonomy the loop acted on.
+// can heal on their own (transport errors, per-attempt timeouts, an open
+// breaker, and WRONG_SHARD — a map refresh away from succeeding), false
+// for terminal answers from a live node (NOT_FOUND, BAD_*, INTERNAL, ...)
+// and for the caller's own context ending. The client's retry loops use
+// exactly this predicate, so a caller inspecting a returned error sees
+// the same taxonomy the loop acted on.
 func IsRetryable(err error) bool {
 	if err == nil {
 		return false
+	}
+	// Checked before the context errors: an attempt timeout wraps the
+	// attempt context's DeadlineExceeded, but it is the node that was
+	// slow, not the caller that gave up.
+	if errors.Is(err, ErrAttemptTimeout) {
+		return true
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
@@ -44,8 +61,7 @@ func IsRetryable(err error) bool {
 		return env.Code == api.CodeWrongShard
 	}
 	// Everything else is transport-level: dial failures, resets, injected
-	// chaos faults, per-attempt timeouts (which wrap the *attempt's*
-	// context, not the caller's).
+	// chaos faults.
 	return true
 }
 
@@ -162,6 +178,17 @@ func (b *breaker) record(success bool, threshold int, now time.Time) (opened, cl
 	return
 }
 
+// abandonProbe releases a probe slot claimed by allow() without
+// recording an outcome — for attempts whose result says nothing about
+// the node's health (the caller's context ended mid-request, the request
+// could not even be built). Without it a half-open breaker whose probe
+// was abandoned would stay probing forever, blacklisting the node.
+func (b *breaker) abandonProbe() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
 // breakerFor returns (lazily creating) addr's breaker.
 func (c *Client) breakerFor(addr string) *breaker {
 	c.brMu.Lock()
@@ -239,6 +266,14 @@ func (c *Client) roundTrip(ctx context.Context, addr string, build func(addr str
 		}
 		go func() {
 			resp, err := c.httpc.Do(req)
+			if err != nil && actx.Err() != nil && ctx.Err() == nil {
+				// The attempt's context ended but the caller's did not:
+				// this is WithRequestTimeout firing on a hung node (the
+				// only way the two diverge before a winner is picked).
+				// Tag it so IsRetryable sees a retryable attempt
+				// timeout, not the caller's own deadline.
+				err = fmt.Errorf("%w: %w", ErrAttemptTimeout, err)
+			}
 			results <- attemptResult{resp: resp, err: err, hedged: hedged}
 		}()
 		return nil

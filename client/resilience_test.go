@@ -3,9 +3,11 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -57,6 +59,10 @@ func TestIsRetryableClassification(t *testing.T) {
 		{"breaker-open", ErrBreakerOpen, true},
 		{"transport", errors.New("connection refused"), true},
 		{"injected", &chaos.ErrInjected{Kind: "reset", Dst: "x"}, true},
+		// A per-attempt timeout wraps the attempt context's
+		// DeadlineExceeded but must classify retryable — the sentinel
+		// outranks the (terminal) caller-context check.
+		{"attempt-timeout", fmt.Errorf("%w: %w", ErrAttemptTimeout, context.DeadlineExceeded), true},
 	}
 	for _, tc := range cases {
 		if got := IsRetryable(tc.err); got != tc.want {
@@ -385,5 +391,99 @@ func TestBatchResendsAfterDroppedAck(t *testing.T) {
 	}
 	if st := c.Stats(); st.RetryableErrors == 0 {
 		t.Fatalf("no retryable errors recorded across dropped acks: %+v", st)
+	}
+}
+
+// TestRequestTimeoutRetriesHungNode is the WithRequestTimeout contract
+// test: a node that hangs past the per-attempt deadline costs one
+// attempt's timeout, after which the call retries and succeeds — it must
+// not be misread as the caller's own deadline and fail terminally.
+func TestRequestTimeoutRetriesHungNode(t *testing.T) {
+	var kvHangs, batchHangs atomic.Int64
+	hangFirst := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if (strings.HasPrefix(r.URL.Path, "/v1/kv/") && kvHangs.Add(1) == 1) ||
+				(r.URL.Path == "/v1/batch" && batchHangs.Add(1) == 1) {
+				time.Sleep(3 * time.Second) // well past the attempt timeout
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	_, addr := startChaosNode(t, hangFirst)
+	c, err := New([]string{addr},
+		WithRequestTimeout(50*time.Millisecond),
+		WithMaxRetries(5),
+		WithRetryBackoff(2*time.Millisecond),
+		WithJitterSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	t0 := time.Now()
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("put against a once-hung node failed terminally: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("put took %v — waited out the hung attempt instead of retrying", elapsed)
+	}
+	t0 = time.Now()
+	if err := c.Batch([]Op{{Kind: OpPut, Key: []byte("bk"), Value: []byte("bv")}}); err != nil {
+		t.Fatalf("batch against a once-hung node failed terminally: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("batch took %v — waited out the hung attempt instead of retrying", elapsed)
+	}
+	st := c.Stats()
+	if st.RetryableErrors < 2 {
+		t.Fatalf("retryable errors = %d, want >= 2 (one per hung attempt): %+v", st.RetryableErrors, st)
+	}
+	if st.TerminalErrors != 0 {
+		t.Fatalf("terminal errors = %d, want 0: %+v", st.TerminalErrors, st)
+	}
+	v, ok, err := c.Get([]byte("bk"))
+	if err != nil || !ok || string(v) != "bv" {
+		t.Fatalf("readback = %q %v %v", v, ok, err)
+	}
+}
+
+// TestCallerCancelDoesNotTripBreaker: a healthy-but-slow node hit with
+// repeated short caller deadlines must not accumulate breaker failures —
+// the caller giving up says nothing about the node, and a spuriously
+// open breaker would fail other callers with ErrBreakerOpen.
+func TestCallerCancelDoesNotTripBreaker(t *testing.T) {
+	slowKV := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/v1/kv/") {
+				time.Sleep(80 * time.Millisecond)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	_, addr := startChaosNode(t, slowKV)
+	c, err := New([]string{addr},
+		WithBreaker(2, 10*time.Second), // trips easily, recovers slowly
+		WithJitterSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+		if err := c.PutCtx(ctx, []byte("k"), []byte("v")); err == nil {
+			t.Fatal("put beat a deadline shorter than the node's latency")
+		}
+		cancel()
+	}
+	if got := c.BreakerState(addr); got != "closed" {
+		t.Fatalf("breaker state after caller cancellations = %q, want closed", got)
+	}
+	if st := c.Stats(); st.BreakerOpens != 0 {
+		t.Fatalf("breaker opened %d times off caller deadlines: %+v", st.BreakerOpens, st)
+	}
+	// The node is healthy: a patient caller succeeds immediately.
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("patient put against healthy node failed: %v", err)
 	}
 }
